@@ -1,0 +1,39 @@
+"""Shared benchmark configuration.
+
+The benchmark registry is smaller than the CLI default (two traces per
+suite, 60k uops) so the full ``pytest benchmarks/ --benchmark-only``
+run finishes in a couple of minutes while still averaging over every
+suite.  Use ``python -m repro <figure> --full`` for the paper-scale
+21-trace runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.registry import default_registry, make_trace
+
+#: uop-budget sweep used by the figure benches (the paper's 8K-64K
+#: sweep at ~1/4 scale).
+SIZES = (2048, 4096, 8192)
+REFERENCE_SIZE = 4096
+
+
+@pytest.fixture(scope="session")
+def bench_specs():
+    return default_registry(traces_per_suite=2, length_uops=60_000)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_traces(bench_specs):
+    """Generate all traces once so benchmarks time simulation only."""
+    for spec in bench_specs:
+        make_trace(spec)
+    return None
+
+
+def emit(capsys, text: str) -> None:
+    """Print a result table through the capture so it reaches the console."""
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,73 @@
+"""Ablations of the §3 design choices.
+
+Quantifies each mechanism the paper motivates: set search (§3.9),
+promotion at constrained prediction bandwidth (§3.8), the way-bank
+geometry (§3.2), and pointer (prediction) bandwidth itself.
+"""
+
+from conftest import emit
+
+from repro.harness.experiments.ablations import format_ablations, run_ablations
+
+
+def test_ablations(benchmark, capsys, bench_specs):
+    rows = benchmark.pedantic(
+        lambda: run_ablations(bench_specs, total_uops=4096),
+        rounds=1, iterations=1,
+    )
+    emit(capsys, format_ablations(rows))
+
+    by_name = {row.name: row for row in rows}
+    base = by_name["baseline"]
+
+    # §3.9: without set search, XBTB-hit/XBC-miss becomes a build-mode
+    # switch and the miss rate rises.
+    assert by_name["no-set-search"].miss_rate > base.miss_rate
+
+    # Prediction bandwidth: one pointer per cycle costs fetch bandwidth.
+    assert by_name["1-xb-per-cycle"].fetch_bandwidth < base.fetch_bandwidth
+
+    # §3.8: promotion recovers fetch bandwidth where pointers are the
+    # limiter (compare the two single-pointer variants).
+    assert (
+        by_name["1-xb-per-cycle"].fetch_bandwidth
+        >= by_name["1-xb-no-promotion"].fetch_bandwidth
+    )
+
+    # Three pointers buy more fetch bandwidth than two.
+    assert by_name["3-xb-per-cycle"].fetch_bandwidth > base.fetch_bandwidth
+
+    # All variants remain functional (miss rates in a sane band).
+    for row in rows:
+        assert 0.0 < row.miss_rate < 0.6, row.name
+
+
+def test_tc_path_associativity_extension(benchmark, capsys, bench_specs):
+    """[Jaco97] path associativity barely moves our TC: the redundancy
+    hurting it is alignment, not same-start path thrashing (see the
+    Figure-9 discussion in EXPERIMENTS.md)."""
+    from conftest import emit
+    from repro.harness.registry import make_trace
+    from repro.frontend.config import FrontendConfig
+    from repro.tc.config import TcConfig
+    from repro.tc.frontend import TcFrontend
+
+    def run_both():
+        fe = FrontendConfig()
+        base = pa = 0.0
+        for spec in bench_specs:
+            trace = make_trace(spec)
+            base += TcFrontend(fe, TcConfig(total_uops=4096)).run(trace).uop_miss_rate
+            pa += TcFrontend(
+                fe, TcConfig(total_uops=4096, path_associativity=True)
+            ).run(trace).uop_miss_rate
+        n = len(bench_specs)
+        return base / n, pa / n
+
+    base, pa = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    emit(capsys, f"TC miss at 4096 uops: baseline {base:.2%}, "
+                 f"path-associative {pa:.2%}")
+    # Both configurations functional and in the same band: path
+    # associativity is not the dominant redundancy cost here.
+    assert 0.0 < pa < 0.6 and 0.0 < base < 0.6
+    assert abs(pa - base) < 0.05

@@ -1,0 +1,28 @@
+"""§4/§5 in-text claims.
+
+- T2: the XBC's miss reduction is roughly size-independent
+  (paper: "~29% for all cache sizes").
+- T3: the TC needs substantially more capacity to match the XBC's hit
+  rate (paper: "more than 50%").
+"""
+
+from conftest import REFERENCE_SIZE, SIZES, emit
+
+from repro.harness.experiments.claims import format_claims, run_claims
+
+
+def test_claims_t2_t3(benchmark, capsys, bench_specs):
+    result = benchmark.pedantic(
+        lambda: run_claims(
+            bench_specs, sizes=SIZES, reference_size=REFERENCE_SIZE
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(capsys, format_claims(result))
+
+    # T2: reduction present at every size and roughly stable.
+    assert all(r > 0.10 for r in result.reductions)
+    assert result.reduction_spread < 0.25
+
+    # T3: the TC must grow by more than 50% to match the XBC.
+    assert result.tc_enlargement > 0.5

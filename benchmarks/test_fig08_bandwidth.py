@@ -1,0 +1,27 @@
+"""Figure 8 — XBC versus TC uop bandwidth per trace.
+
+Paper: "the difference between the XBC and TC bandwidth is negligible"
+with the renamer limiting supply to 8 uops/cycle.
+"""
+
+from conftest import REFERENCE_SIZE, emit
+
+from repro.harness.experiments.fig8 import format_fig8, run_fig8
+
+
+def test_fig08_bandwidth(benchmark, capsys, bench_specs):
+    rows = benchmark.pedantic(
+        lambda: run_fig8(bench_specs, total_uops=REFERENCE_SIZE),
+        rounds=1, iterations=1,
+    )
+    emit(capsys, format_fig8(rows, total_uops=REFERENCE_SIZE))
+
+    assert len(rows) == len(bench_specs)
+    for row in rows:
+        # Negligible difference: within ~15% per trace.
+        assert 0.85 < row.ratio < 1.18, row.trace
+        # Both land near the renamer limit of 8 uops/cycle.
+        assert 5.0 < row.tc_bandwidth <= 9.0
+        assert 5.0 < row.xbc_bandwidth <= 9.0
+    mean_ratio = sum(r.ratio for r in rows) / len(rows)
+    assert 0.9 < mean_ratio < 1.1

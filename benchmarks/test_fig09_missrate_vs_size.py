@@ -1,0 +1,31 @@
+"""Figure 9 — uop miss rate versus cache size.
+
+Paper: the XBC's miss rate is lower at every size; the relative
+reduction is roughly constant (~29% in their setup) across sizes.
+Our synthetic workloads show the same shape with a larger reduction
+(the academic TC model thrashes harder at scaled-down budgets).
+"""
+
+from conftest import SIZES, emit
+
+from repro.harness.experiments.fig9 import format_fig9, run_fig9
+
+
+def test_fig09_missrate_vs_size(benchmark, capsys, bench_specs):
+    result = benchmark.pedantic(
+        lambda: run_fig9(bench_specs, sizes=SIZES), rounds=1, iterations=1
+    )
+    emit(capsys, format_fig9(result))
+
+    for size in SIZES:
+        # The headline claim: XBC wins at every size.
+        assert result.xbc_miss[size] < result.tc_miss[size]
+        assert 0.10 < result.reduction(size) < 0.95
+    # Monotone in capacity for both structures.
+    for a, b in zip(SIZES, SIZES[1:]):
+        assert result.tc_miss[b] < result.tc_miss[a]
+        assert result.xbc_miss[b] < result.xbc_miss[a]
+    # Stability of the reduction across sizes (paper: "~29% for all
+    # cache sizes"): max-min spread bounded.
+    reductions = [result.reduction(s) for s in SIZES]
+    assert max(reductions) - min(reductions) < 0.25

@@ -1,0 +1,90 @@
+"""Component micro-benchmarks.
+
+Timed with pytest-benchmark's standard loop (multiple rounds): the
+synthetic-workload generator, the executor, the canonical XB-stream
+builder, the XBC storage array, and the predictors.  These guard
+against performance regressions in the inner loops every experiment
+depends on.
+"""
+
+import pytest
+
+from repro.branch.gshare import GsharePredictor
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import default_registry, make_trace
+from repro.program.generator import generate_program
+from repro.program.profiles import profile_for_suite
+from repro.trace.executor import execute_program
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbseq import build_xb_stream
+
+
+@pytest.fixture(scope="module")
+def one_trace():
+    spec = default_registry(traces_per_suite=1, length_uops=40_000)[0]
+    return make_trace(spec)
+
+
+def test_program_generation(benchmark):
+    profile = profile_for_suite("specint")
+    counter = iter(range(10**9))
+
+    def generate():
+        return generate_program(profile, seed=next(counter))
+
+    program = benchmark(generate)
+    assert program.num_blocks > 100
+
+
+def test_trace_execution_throughput(benchmark):
+    program = generate_program(profile_for_suite("specint"), seed=3)
+
+    def execute():
+        return execute_program(program, max_uops=20_000)
+
+    trace = benchmark(execute)
+    assert trace.total_uops >= 20_000
+
+
+def test_xb_stream_build(benchmark, one_trace):
+    steps = benchmark(lambda: build_xb_stream(one_trace))
+    assert sum(len(s.uops) for s in steps) == one_trace.total_uops
+
+
+def test_xbc_storage_insert_probe(benchmark):
+    def insert_and_probe():
+        storage = XbcStorage(XbcConfig(total_uops=8192))
+        hits = 0
+        for i in range(512):
+            xb_ip = 0x1000 + 8 * i
+            uops = [(xb_ip + 2 * j) << 4 for j in range(9)]
+            mask = storage.insert_xb(xb_ip, uops)
+            if mask is not None and storage.probe(xb_ip, mask, 9):
+                hits += 1
+        return hits
+
+    hits = benchmark(insert_and_probe)
+    assert hits > 400
+
+
+def test_gshare_update_throughput(benchmark):
+    predictor = GsharePredictor(16, 65536)
+    pattern = [True, True, False, True] * 250
+
+    def updates():
+        for i, taken in enumerate(pattern):
+            predictor.update(0x1000 + 2 * (i % 37), taken)
+
+    benchmark(updates)
+    assert predictor.predictions > 0
+
+
+def test_xbc_end_to_end_simulation(benchmark, one_trace):
+    def simulate():
+        frontend = XbcFrontend(FrontendConfig(), XbcConfig(total_uops=4096))
+        return frontend.run(one_trace)
+
+    stats = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert stats.total_uops == one_trace.total_uops

@@ -1,0 +1,79 @@
+"""Reproduction of *eXtended Block Cache* (Jourdan et al., HPCA 2000).
+
+A trace-driven frontend-simulation library: synthetic x86-like
+workloads, a conventional instruction-cache frontend, the academic
+Trace Cache and Block-Based Trace Cache comparators, and a complete
+model of the paper's eXtended Block Cache (banked reverse-order
+storage, XBTB/XiBTB/XRSB prediction, complex XBs, branch promotion,
+set search, dynamic placement).
+
+Quickstart::
+
+    from repro import (
+        FrontendConfig, TcFrontend, XbcFrontend, TcConfig, XbcConfig,
+        profile_for_suite, generate_program, execute_program,
+    )
+
+    program = generate_program(profile_for_suite("specint"), seed=7)
+    trace = execute_program(program, max_uops=100_000)
+    xbc = XbcFrontend(FrontendConfig(), XbcConfig(total_uops=8192))
+    print(xbc.run(trace).summary())
+
+See ``python -m repro --help`` for the figure-regeneration harness.
+"""
+
+from repro.common import ReproError, ConfigError, GenerationError, SimulationError
+from repro.program import (
+    WorkloadProfile,
+    profile_for_suite,
+    generate_program,
+    ProgramGenerator,
+    Program,
+    SUITE_NAMES,
+)
+from repro.trace import (
+    Trace,
+    DynInstr,
+    execute_program,
+    TraceExecutor,
+    compute_block_stats,
+    save_trace,
+    load_trace,
+)
+from repro.frontend import FrontendConfig, FrontendStats, ICFrontend
+from repro.tc import TcConfig, TcFrontend
+from repro.bbtc import BbtcConfig, BbtcFrontend
+from repro.xbc import XbcConfig, XbcFrontend, build_xb_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GenerationError",
+    "SimulationError",
+    "WorkloadProfile",
+    "profile_for_suite",
+    "generate_program",
+    "ProgramGenerator",
+    "Program",
+    "SUITE_NAMES",
+    "Trace",
+    "DynInstr",
+    "execute_program",
+    "TraceExecutor",
+    "compute_block_stats",
+    "save_trace",
+    "load_trace",
+    "FrontendConfig",
+    "FrontendStats",
+    "ICFrontend",
+    "TcConfig",
+    "TcFrontend",
+    "BbtcConfig",
+    "BbtcFrontend",
+    "XbcConfig",
+    "XbcFrontend",
+    "build_xb_stream",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Offline workload/structure analysis.
+
+The paper's design rests on three quantitative arguments it mostly
+asserts in prose: traces are *redundant* (§2.3), extended blocks are
+*multi-entry* (§3.1), and hit rates are governed by working-set versus
+capacity.  This package measures all three on any trace, independent
+of the timing simulators:
+
+- :mod:`repro.analysis.redundancy` — trace-cache redundancy factor of
+  an unbounded TC build over the trace (copies per distinct uop);
+- :mod:`repro.analysis.xbstats` — extended-block usage: distinct XBs,
+  entry-point diversity, execution-frequency skew, quota splits;
+- :mod:`repro.analysis.workingset` — XB-granular LRU stack distances
+  and the analytic fully-associative miss curve they imply;
+- :mod:`repro.analysis.fragmentation` — slot overhead of the XBC's
+  banked lines versus 16-uop trace lines and decoded-cache lines.
+"""
+
+from repro.analysis.fragmentation import FragmentationReport, measure_fragmentation
+from repro.analysis.redundancy import RedundancyReport, measure_tc_redundancy
+from repro.analysis.xbstats import XbUsageReport, measure_xb_usage
+from repro.analysis.workingset import StackDistanceReport, measure_stack_distances
+
+__all__ = [
+    "FragmentationReport",
+    "measure_fragmentation",
+    "RedundancyReport",
+    "measure_tc_redundancy",
+    "XbUsageReport",
+    "measure_xb_usage",
+    "StackDistanceReport",
+    "measure_stack_distances",
+]

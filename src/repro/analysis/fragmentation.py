@@ -1,0 +1,179 @@
+"""Storage fragmentation analysis (§2.2 / §3.2).
+
+Fixed-size lines waste the slots past a block's end.  The paper argues
+the XBC's banked 4-uop lines keep this small (only an XB's last line
+can be partial), while a 16-uop trace line loses everything past the
+trace's end, and a decoded cache fragments on top of that by reserving
+worst-case uop space per instruction slot.
+
+This analysis computes, from a trace alone (unbounded builds, no
+eviction noise), the slot overhead each organization pays per stored
+uop — storage the cache budget buys but cannot use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.tc.config import TcConfig
+from repro.tc.fill import TcFillUnit
+from repro.trace.record import Trace
+from repro.xbc.xbseq import build_xb_stream
+
+
+@dataclass
+class FragmentationReport:
+    """Slot overhead per organization, over distinct stored content."""
+
+    #: distinct XB lines needed and the uops they hold
+    xbc_lines: int = 0
+    xbc_stored_uops: int = 0
+    xbc_line_uops: int = 4
+    #: distinct traces and the uops they hold
+    tc_lines: int = 0
+    tc_stored_uops: int = 0
+    tc_line_uops: int = 16
+    #: decoded-cache lines (8-uop) holding consecutive instructions
+    dc_lines: int = 0
+    dc_stored_uops: int = 0
+    dc_line_uops: int = 8
+    #: distinct uops in the trace (the content a perfect store holds once)
+    distinct_uops: int = 0
+
+    @staticmethod
+    def _waste(lines: int, line_uops: int, stored: int) -> float:
+        capacity = lines * line_uops
+        if capacity == 0:
+            return 0.0
+        return 1.0 - stored / capacity
+
+    @property
+    def xbc_waste(self) -> float:
+        """Fraction of allocated XBC slots left empty."""
+        return self._waste(self.xbc_lines, self.xbc_line_uops,
+                           self.xbc_stored_uops)
+
+    @property
+    def tc_waste(self) -> float:
+        """Fraction of allocated TC slots left empty."""
+        return self._waste(self.tc_lines, self.tc_line_uops,
+                           self.tc_stored_uops)
+
+    @property
+    def dc_waste(self) -> float:
+        """Fraction of allocated decoded-cache slots left empty."""
+        return self._waste(self.dc_lines, self.dc_line_uops,
+                           self.dc_stored_uops)
+
+    def slots_per_distinct_uop(self, organization: str) -> float:
+        """Allocated slots per distinct uop: fragmentation **and**
+        redundancy folded into one capacity-cost number (1.0 = perfect)."""
+        lines, line_uops = {
+            "xbc": (self.xbc_lines, self.xbc_line_uops),
+            "tc": (self.tc_lines, self.tc_line_uops),
+            "dc": (self.dc_lines, self.dc_line_uops),
+        }[organization]
+        if self.distinct_uops == 0:
+            return 1.0
+        return lines * line_uops / self.distinct_uops
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        return "\n".join([
+            "Storage fragmentation (unbounded builds):",
+            f"  XBC (4-uop banked lines):  {self.xbc_waste:.1%} slots wasted "
+            f"({self.xbc_lines} lines for {self.xbc_stored_uops} uops)",
+            f"  TC (16-uop trace lines):   {self.tc_waste:.1%} slots wasted "
+            f"({self.tc_lines} lines for {self.tc_stored_uops} uops)",
+            f"  DC (8-uop decoded lines):  {self.dc_waste:.1%} slots wasted "
+            f"({self.dc_lines} lines for {self.dc_stored_uops} uops)",
+            "  slots per distinct uop (fragmentation x redundancy; 1.0 = "
+            "perfect):",
+            f"    XBC {self.slots_per_distinct_uop('xbc'):.2f}   "
+            f"TC {self.slots_per_distinct_uop('tc'):.2f}   "
+            f"DC {self.slots_per_distinct_uop('dc'):.2f}",
+        ])
+
+
+def measure_fragmentation(
+    trace: Trace,
+    xbc_line_uops: int = 4,
+    tc_config: TcConfig = TcConfig(),
+    dc_line_uops: int = 8,
+) -> FragmentationReport:
+    """Compute slot overhead per organization from one trace."""
+    report = FragmentationReport(
+        xbc_line_uops=xbc_line_uops,
+        tc_line_uops=tc_config.line_uops,
+        dc_line_uops=dc_line_uops,
+    )
+
+    distinct = set()
+    for record in trace.records:
+        base = record.instr.ip << 4
+        for index in range(record.instr.num_uops):
+            distinct.add(base | index)
+    report.distinct_uops = len(distinct)
+
+    # XBC: one entry-maximal copy per distinct XB; only the top line of
+    # each is partial.
+    longest: Dict[int, int] = {}
+    for step in build_xb_stream(trace):
+        length = len(step.uops)
+        if length > longest.get(step.end_ip, 0):
+            longest[step.end_ip] = length
+    for length in longest.values():
+        lines = (length + xbc_line_uops - 1) // xbc_line_uops
+        report.xbc_lines += lines
+        report.xbc_stored_uops += length
+
+    # TC: every distinct trace takes a 16-uop line.
+    fill = TcFillUnit(tc_config)
+    seen: Set[tuple] = set()
+    def lines_of(record_stream):
+        for record in record_stream:
+            yield from fill.feed(record)
+        tail = fill.flush()
+        if tail is not None:
+            yield tail
+
+    for line in lines_of(trace.records):
+        signature = line.path_signature()
+        if signature in seen:
+            continue
+        seen.add(signature)
+        report.tc_lines += 1
+        report.tc_stored_uops += line.total_uops
+
+    # DC: consecutive-instruction lines anchored at each distinct entry
+    # point (a jump target mid-run starts a new, partially duplicate
+    # line — the §2.2 fragmentation source).
+    dc_lines: Dict[int, int] = {}
+    pending_start = None
+    pending_uops = 0
+    expected_ip = None
+    for record in trace.records:
+        instr = record.instr
+        breaks = (
+            pending_start is None
+            or instr.ip != expected_ip
+            or pending_uops + instr.num_uops > dc_line_uops
+        )
+        if breaks:
+            if pending_start is not None:
+                previous = dc_lines.get(pending_start, 0)
+                dc_lines[pending_start] = max(previous, pending_uops)
+            pending_start = instr.ip
+            pending_uops = 0
+        pending_uops += instr.num_uops
+        # Lines hold statically consecutive instructions; a taken branch
+        # makes the next record's IP differ from next_ip and the check
+        # above starts a new line at the target.
+        expected_ip = instr.next_ip
+    if pending_start is not None:
+        previous = dc_lines.get(pending_start, 0)
+        dc_lines[pending_start] = max(previous, pending_uops)
+    report.dc_lines = len(dc_lines)
+    report.dc_stored_uops = sum(dc_lines.values())
+    return report

@@ -1,0 +1,120 @@
+"""Trace-cache redundancy analysis (§2.3).
+
+"Instruction redundancy is the average number of times each uop appears
+in the TC."  The structural sources are (i) multiple *paths* through
+the same code building different traces, and (ii) *alignment*: a trace
+may start at any instruction, so the same uop lands at many positions.
+
+This analysis feeds a whole trace through an unbounded trace build —
+every distinct (start IP, path) trace that would ever be built is kept
+— and counts copies per distinct uop.  It is an upper bound for any
+finite TC (eviction only removes copies) and isolates the redundancy
+argument from capacity effects.  The XBC equivalent is computed from
+the canonical XB partitioning: distinct stored uops over distinct
+executed uops, which is 1.0 by construction plus the line-boundary
+duplicates of complex variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+from repro.common.histogram import Histogram
+from repro.tc.config import TcConfig
+from repro.tc.fill import TcFillUnit
+from repro.trace.record import Trace
+from repro.xbc.xbseq import build_xb_stream
+
+
+@dataclass
+class RedundancyReport:
+    """Copies-per-uop statistics of an unbounded trace build."""
+
+    distinct_uops: int = 0
+    stored_uop_copies: int = 0
+    distinct_traces: int = 0
+    distinct_start_ips: int = 0
+    copies_histogram: Histogram = field(default_factory=Histogram)
+    #: XB-side numbers for comparison
+    distinct_xbs: int = 0
+    xb_redundancy: float = 1.0
+
+    @property
+    def redundancy(self) -> float:
+        """Average copies of each distinct uop across all traces."""
+        if self.distinct_uops == 0:
+            return 1.0
+        return self.stored_uop_copies / self.distinct_uops
+
+    @property
+    def path_associativity_pressure(self) -> float:
+        """Average distinct paths per trace start IP."""
+        if self.distinct_start_ips == 0:
+            return 0.0
+        return self.distinct_traces / self.distinct_start_ips
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        return "\n".join([
+            "TC redundancy (unbounded build):",
+            f"  distinct uops touched:    {self.distinct_uops}",
+            f"  stored uop copies:        {self.stored_uop_copies}",
+            f"  redundancy factor:        {self.redundancy:.2f} copies/uop",
+            f"  distinct traces:          {self.distinct_traces} "
+            f"({self.path_associativity_pressure:.2f} paths per start IP)",
+            f"  XBC comparison:           {self.distinct_xbs} XBs at "
+            f"{self.xb_redundancy:.2f} copies/uop",
+        ])
+
+
+def measure_tc_redundancy(
+    trace: Trace,
+    tc_config: TcConfig = TcConfig(),
+) -> RedundancyReport:
+    """Run the unbounded trace build and count copies per uop."""
+    fill = TcFillUnit(tc_config)
+    seen: Set[Tuple] = set()
+    copies: Dict[int, int] = {}
+    stored = 0
+    start_ips: Set[int] = set()
+    def lines_of(record_stream):
+        for record in record_stream:
+            yield from fill.feed(record)
+        tail = fill.flush()
+        if tail is not None:
+            yield tail
+
+    for line in lines_of(trace.records):
+        signature = line.path_signature()
+        if signature in seen:
+            continue
+        seen.add(signature)
+        start_ips.add(line.start_ip)
+        for entry in line.entries:
+            for index in range(entry.instr.num_uops):
+                uid = (entry.instr.ip << 4) | index
+                copies[uid] = copies.get(uid, 0) + 1
+                stored += 1
+
+    report = RedundancyReport(
+        distinct_uops=len(copies),
+        stored_uop_copies=stored,
+        distinct_traces=len(seen),
+        distinct_start_ips=len(start_ips),
+    )
+    for count in copies.values():
+        report.copies_histogram.add(count)
+
+    # XB side: distinct uops per distinct XB content (entry-maximal).
+    xb_uops: Dict[int, Set[int]] = {}
+    for step in build_xb_stream(trace):
+        xb_uops.setdefault(step.end_ip, set()).update(step.uops)
+    report.distinct_xbs = len(xb_uops)
+    distinct = set()
+    total = 0
+    for uops in xb_uops.values():
+        distinct.update(uops)
+        total += len(uops)
+    report.xb_redundancy = total / len(distinct) if distinct else 1.0
+    return report

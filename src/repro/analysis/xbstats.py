@@ -1,0 +1,99 @@
+"""Extended-block usage statistics (§3.1's multi-entry argument).
+
+An XB is worth indexing by its *ending* IP exactly because control
+enters the same block at many points — every such entry would be a
+separate (redundant) trace in a TC.  This analysis measures that
+directly: for each distinct XB, how many distinct entry offsets occur,
+how executions distribute over XBs, and how often the 16-uop quota
+(rather than a branch) ends a block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from repro.common.histogram import Histogram
+from repro.trace.record import Trace
+from repro.xbc.xbseq import build_xb_stream
+
+
+@dataclass
+class XbUsageReport:
+    """Per-trace XB usage profile."""
+
+    dynamic_xbs: int = 0
+    distinct_xbs: int = 0
+    quota_ended_dynamic: int = 0
+    #: distinct entry offsets per distinct XB
+    entries_histogram: Histogram = field(default_factory=Histogram)
+    #: dynamic executions per distinct XB
+    executions_histogram: Histogram = field(default_factory=Histogram)
+    #: occurrence length in uops (the Figure-1 XB series, for reference)
+    length_histogram: Histogram = field(default_factory=Histogram)
+
+    @property
+    def multi_entry_fraction(self) -> float:
+        """Fraction of distinct XBs entered at more than one offset."""
+        total = self.entries_histogram.total
+        if total == 0:
+            return 0.0
+        return 1.0 - self.entries_histogram.fraction_of(1)
+
+    @property
+    def mean_entries_per_xb(self) -> float:
+        """Average distinct entry points per XB."""
+        return self.entries_histogram.mean
+
+    @property
+    def quota_fraction(self) -> float:
+        """Dynamic fraction of XBs ended by the quota, not a branch."""
+        if self.dynamic_xbs == 0:
+            return 0.0
+        return self.quota_ended_dynamic / self.dynamic_xbs
+
+    @property
+    def hot_xb_coverage(self) -> float:
+        """Dynamic coverage of the hottest 10% of XBs."""
+        items = sorted(
+            (count for _v, c in self.executions_histogram.items()
+             for count in [_v] * c),
+            reverse=True,
+        )
+        if not items:
+            return 0.0
+        top = items[: max(1, len(items) // 10)]
+        return sum(top) / sum(items)
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        return "\n".join([
+            "XB usage:",
+            f"  dynamic XBs:            {self.dynamic_xbs}",
+            f"  distinct XBs:           {self.distinct_xbs}",
+            f"  entries per XB:         {self.mean_entries_per_xb:.2f} "
+            f"({self.multi_entry_fraction:.1%} multi-entry)",
+            f"  quota-ended (dynamic):  {self.quota_fraction:.1%}",
+            f"  hottest 10% XBs cover:  {self.hot_xb_coverage:.1%} "
+            "of executions",
+        ])
+
+
+def measure_xb_usage(trace: Trace, quota: int = 16) -> XbUsageReport:
+    """Profile the canonical XB stream of a trace."""
+    report = XbUsageReport()
+    entries: Dict[int, Set[int]] = {}
+    executions: Dict[int, int] = {}
+    for step in build_xb_stream(trace, quota):
+        report.dynamic_xbs += 1
+        if step.end_kind is None:
+            report.quota_ended_dynamic += 1
+        entries.setdefault(step.end_ip, set()).add(step.entry_offset)
+        executions[step.end_ip] = executions.get(step.end_ip, 0) + 1
+        report.length_histogram.add(step.entry_offset)
+    report.distinct_xbs = len(entries)
+    for offsets in entries.values():
+        report.entries_histogram.add(len(offsets))
+    for count in executions.values():
+        report.executions_histogram.add(count)
+    return report

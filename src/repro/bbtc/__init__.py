@@ -1,0 +1,14 @@
+"""Block-Based Trace Cache (§2.4, [Blac99]) — extension comparator.
+
+The BBTC records traces of *block pointers* instead of uops: a block
+cache stores each basic block once (indexed by block start IP) and a
+trace table stores sequences of pointers into it.  This moves the
+trace cache's redundancy from uops to pointers — cheaper, but with
+extra fragmentation from the finer storage granularity, which is
+exactly the trade-off the paper describes before introducing the XBC.
+"""
+
+from repro.bbtc.config import BbtcConfig
+from repro.bbtc.frontend import BbtcFrontend
+
+__all__ = ["BbtcConfig", "BbtcFrontend"]

@@ -1,0 +1,295 @@
+"""BBTC frontend: block cache + trace table of block pointers.
+
+Build mode segments the uop stream into basic blocks (ending on any
+branch or the block-size quota, identified by their *start* IP),
+installs each block in the block cache, and records traces of up to
+``blocks_per_trace`` pointers in the trace table.  Delivery mode walks
+a trace-table entry, fetching each pointed-to block from the block
+cache and checking the embedded conditional directions against gshare
+and the actual path, exactly as the TC model does at uop granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.bbtc.config import BbtcConfig
+from repro.frontend.base import FrontendModel, UopFlow
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr, Trace
+
+
+class _Block:
+    """A basic block in the block cache."""
+
+    __slots__ = ("start_ip", "entries", "uops")
+
+    def __init__(self, entries: List[Tuple[Instruction, bool]]) -> None:
+        self.start_ip = entries[0][0].ip
+        self.entries = entries
+        self.uops = sum(instr.num_uops for instr, _ in entries)
+
+
+class _SetAssoc:
+    """Tiny generic set-associative store keyed by IP."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._mask = num_sets - 1
+        self._sets: List[Dict[int, object]] = [{} for _ in range(num_sets)]
+        self._stamps: List[Dict[int, int]] = [{} for _ in range(num_sets)]
+        self._clock = 0
+
+    def get(self, key: int):
+        index = (key >> 1) & self._mask
+        value = self._sets[index].get(key)
+        if value is not None:
+            self._clock += 1
+            self._stamps[index][key] = self._clock
+        return value
+
+    def put(self, key: int, value: object) -> None:
+        index = (key >> 1) & self._mask
+        entries = self._sets[index]
+        stamps = self._stamps[index]
+        self._clock += 1
+        if key not in entries and len(entries) >= self.assoc:
+            victim = min(stamps, key=stamps.get)
+            del entries[victim]
+            del stamps[victim]
+        entries[key] = value
+        stamps[key] = self._clock
+
+
+class BbtcFrontend(FrontendModel):
+    """Block-based trace cache frontend."""
+
+    name = "bbtc"
+
+    def __init__(
+        self,
+        config: FrontendConfig = FrontendConfig(),
+        bbtc_config: BbtcConfig = BbtcConfig(),
+    ) -> None:
+        super().__init__(config)
+        bbtc_config.validate()
+        self.bbtc_config = bbtc_config
+
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the trace through block cache + trace table."""
+        config = self.config
+        bc = self.bbtc_config
+        stats = FrontendStats(frontend=self.name, trace_name=trace.name)
+        flow = UopFlow(config, stats)
+        gshare = GsharePredictor(config.gshare_history_bits, config.gshare_entries)
+        rsb: ReturnStackBuffer = ReturnStackBuffer(config.rsb_depth)
+        indirect: IndirectPredictor = IndirectPredictor(
+            config.indirect_entries, config.indirect_history_bits
+        )
+        engine = BuildEngine(
+            config=config,
+            stats=stats,
+            icache=InstructionCache(
+                config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+            ),
+            cond_predictor=gshare,
+            btb=BranchTargetBuffer(config.btb_entries, config.btb_assoc),
+            rsb=rsb,
+            indirect=indirect,
+        )
+        blocks = _SetAssoc(bc.num_sets, bc.assoc)
+        table = _SetAssoc(bc.table_entries // bc.table_assoc, bc.table_assoc)
+
+        records = trace.records
+        total = len(records)
+        pos = 0
+        delivery = False
+        # fill state
+        pending_block: List[Tuple[Instruction, bool]] = []
+        pending_uops = 0
+        pending_trace: List[int] = []  # block start IPs
+        pending_conds = 0
+
+        def close_block() -> None:
+            nonlocal pending_block, pending_uops, pending_conds
+            if not pending_block:
+                return
+            block = _Block(pending_block)
+            blocks.put(block.start_ip, block)
+            if len(pending_trace) < bc.blocks_per_trace:
+                pending_trace.append(block.start_ip)
+            pending_block = []
+            pending_uops = 0
+
+        def close_trace() -> None:
+            nonlocal pending_trace, pending_conds
+            if pending_trace:
+                table.put(pending_trace[0], tuple(pending_trace))
+                stats.blocks_built += 1
+            pending_trace = []
+            pending_conds = 0
+
+        max_build_uops = 4 * config.decode_width
+        max_fetch_uops = bc.blocks_per_trace * bc.block_uops
+
+        while pos < total:
+            stats.cycles += 1
+            flow.drain()
+
+            if delivery:
+                stats.delivery_cycles += 1
+                if not flow.can_accept(max_fetch_uops):
+                    continue
+                stats.structure_lookups += 1
+                entry = table.get(records[pos].ip)
+                if entry is None:
+                    delivery = False
+                    stats.switches_to_build += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+                    continue
+                uops, pos, complete = self._consume_trace(
+                    entry, blocks, records, pos, stats, gshare, rsb, indirect
+                )
+                if uops == 0 and not complete:
+                    # first block pointer missed in the block cache
+                    delivery = False
+                    stats.switches_to_build += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+                    continue
+                stats.structure_hits += 1
+                stats.structure_fetch_cycles += 1
+                stats.uops_from_structure += uops
+                flow.push(uops)
+            else:
+                stats.build_cycles += 1
+                if not flow.can_accept(max_build_uops):
+                    continue
+                pos, cycle = engine.fetch_cycle(records, pos)
+                stats.uops_from_ic += cycle.uops
+                flow.push(cycle.uops)
+                for cause, cycles in cycle.penalties.items():
+                    stats.add_penalty(cause, cycles)
+                closed_any = False
+                for record in cycle.records:
+                    instr = record.instr
+                    if (
+                        pending_block
+                        and pending_uops + instr.num_uops > bc.block_uops
+                    ):
+                        close_block()
+                        if len(pending_trace) >= bc.blocks_per_trace:
+                            close_trace()
+                            closed_any = True
+                    pending_block.append((instr, record.taken))
+                    pending_uops += instr.num_uops
+                    ends_block = (
+                        instr.kind.is_branch
+                        or pending_uops >= bc.block_uops
+                    )
+                    if instr.kind is InstrKind.COND_BRANCH:
+                        pending_conds += 1
+                    if ends_block:
+                        close_block()
+                        end_trace = (
+                            len(pending_trace) >= bc.blocks_per_trace
+                            or pending_conds >= bc.max_cond_branches
+                            or instr.kind.is_indirect
+                        )
+                        if end_trace:
+                            close_trace()
+                            closed_any = True
+                if (
+                    closed_any
+                    and pos < total
+                    and table.get(records[pos].ip) is not None
+                ):
+                    delivery = True
+                    pending_block = []
+                    pending_uops = 0
+                    pending_trace = []
+                    pending_conds = 0
+                    stats.switches_to_delivery += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+
+        flow.drain_all()
+        stats.verify_conservation(trace.total_uops)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _consume_trace(
+        self,
+        entry: Tuple[int, ...],
+        blocks: _SetAssoc,
+        records: List[DynInstr],
+        pos: int,
+        stats: FrontendStats,
+        gshare: GsharePredictor,
+        rsb: ReturnStackBuffer,
+        indirect: IndirectPredictor,
+    ) -> Tuple[int, int, bool]:
+        """Fetch the pointed-to blocks against the actual path.
+
+        Returns (uops delivered, new position, walked-to-end flag).
+        """
+        config = self.config
+        total = len(records)
+        uops = 0
+        consumed = 0
+        for block_ip in entry:
+            index = pos + consumed
+            if index >= total or records[index].ip != block_ip:
+                return uops, pos + consumed, False
+            block = blocks.get(block_ip)
+            if block is None:
+                return uops, pos + consumed, False  # pointer into evicted block
+            diverged = False
+            for instr, recorded_taken in block.entries:
+                index = pos + consumed
+                if index >= total:
+                    return uops, pos + consumed, False
+                record = records[index]
+                if record.ip != instr.ip:
+                    return uops, pos + consumed, False
+                consumed += 1
+                uops += instr.num_uops
+                kind = instr.kind
+                if kind is InstrKind.COND_BRANCH:
+                    stats.cond_predictions += 1
+                    if not gshare.update(record.ip, record.taken):
+                        stats.cond_mispredicts += 1
+                        stats.add_penalty("mispredict", config.mispredict_penalty)
+                        return uops, pos + consumed, False
+                    if record.taken != recorded_taken:
+                        diverged = True
+                        break
+                elif kind is InstrKind.CALL:
+                    rsb.push(instr.next_ip)
+                elif kind is InstrKind.INDIRECT_CALL:
+                    rsb.push(instr.next_ip)
+                    stats.indirect_predictions += 1
+                    if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                        stats.indirect_mispredicts += 1
+                        stats.add_penalty("mispredict", config.mispredict_penalty)
+                elif kind is InstrKind.INDIRECT_JUMP:
+                    stats.indirect_predictions += 1
+                    if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                        stats.indirect_mispredicts += 1
+                        stats.add_penalty("mispredict", config.mispredict_penalty)
+                elif kind is InstrKind.RETURN:
+                    stats.return_predictions += 1
+                    if rsb.pop() != record.next_ip:
+                        stats.return_mispredicts += 1
+                        stats.add_penalty("mispredict", config.mispredict_penalty)
+            if diverged:
+                return uops, pos + consumed, False
+        return uops, pos + consumed, True

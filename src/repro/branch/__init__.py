@@ -1,0 +1,25 @@
+"""Branch-prediction substrate.
+
+The paper simulates a 16-bit-history GSHARE predictor [McF93] for both
+the XBC (as the XBP of §3.5) and the TC, plus the usual companion
+structures: a BTB for the build-mode IC frontend, a return stack
+(the XRSB of §3.5 is the XB-granular variant), an indirect-target
+predictor (backing the XiBTB), and the 7-bit bias counters that drive
+branch promotion (§3.8).
+"""
+
+from repro.branch.gshare import GsharePredictor
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.rsb import ReturnStackBuffer
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.bias import BiasCounter
+
+__all__ = [
+    "GsharePredictor",
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "ReturnStackBuffer",
+    "IndirectPredictor",
+    "BiasCounter",
+]

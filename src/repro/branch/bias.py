@@ -1,0 +1,71 @@
+"""The 7-bit bias counter that drives branch promotion (§3.8).
+
+Each XBTB entry carries one of these.  The counter increments on taken
+and decrements on not-taken (saturating at 0 and 127).  A value of
+``<= 1`` means at most one taken out of the last 128 executions —
+at least 99.2% biased to not-taken — and symmetrically ``>= 126`` for
+taken.  The same counter keeps gathering statistics *after* promotion:
+every time the promoted branch takes the non-promoted path the counter
+moves back toward the middle, and crossing the de-promotion threshold
+demotes the branch.
+"""
+
+from __future__ import annotations
+
+#: Counter width in bits, fixed by the paper.
+BIAS_BITS = 7
+BIAS_MAX = (1 << BIAS_BITS) - 1  # 127
+
+#: Promotion thresholds: <=1 (not-taken monotone) / >=126 (taken monotone).
+PROMOTE_LOW = 1
+PROMOTE_HIGH = BIAS_MAX - 1
+
+
+class BiasCounter:
+    """Saturating 7-bit taken/not-taken bias counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, initial: int = BIAS_MAX // 2) -> None:
+        if not 0 <= initial <= BIAS_MAX:
+            raise ValueError(f"initial value out of range: {initial}")
+        self.value = initial
+
+    def update(self, taken: bool) -> None:
+        """Record one execution of the branch."""
+        if taken:
+            if self.value < BIAS_MAX:
+                self.value += 1
+        else:
+            if self.value > 0:
+                self.value -= 1
+
+    @property
+    def promotable_taken(self) -> bool:
+        """>= 99.2% biased toward taken."""
+        return self.value >= PROMOTE_HIGH
+
+    @property
+    def promotable_not_taken(self) -> bool:
+        """>= 99.2% biased toward not-taken."""
+        return self.value <= PROMOTE_LOW
+
+    @property
+    def promotable(self) -> bool:
+        """Monotonic in either direction."""
+        return self.promotable_taken or self.promotable_not_taken
+
+    def monotone_direction(self) -> bool:
+        """The biased direction; only meaningful when :attr:`promotable`."""
+        return self.value >= PROMOTE_HIGH
+
+    def misbehaving(self, promoted_taken: bool, slack: int = 16) -> bool:
+        """True when a promoted branch has drifted off its bias.
+
+        *slack* counts how far the counter must move back from the
+        saturation rail before the branch is de-promoted; 16 means
+        roughly one wrong direction per eight executions sustained.
+        """
+        if promoted_taken:
+            return self.value < BIAS_MAX - slack
+        return self.value > slack

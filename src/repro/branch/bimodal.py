@@ -1,0 +1,54 @@
+"""Bimodal (per-address 2-bit counter) direction predictor.
+
+Serves as the simple baseline against gshare in the predictor ablation
+benches, and as the cheap second component when experiments want a
+hybrid-style comparison.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.common.bitutils import log2_exact
+
+
+class BimodalPredictor:
+    """Classic Smith predictor: table of 2-bit counters indexed by IP."""
+
+    def __init__(self, table_entries: int = 4096) -> None:
+        log2_exact(table_entries)
+        self.table_entries = table_entries
+        self._index_mask = table_entries - 1
+        self._counters = array("b", [2]) * table_entries
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, ip: int) -> int:
+        return (ip >> 1) & self._index_mask
+
+    def predict(self, ip: int) -> bool:
+        """Predicted direction (no state change)."""
+        return self._counters[self._index(ip)] >= 2
+
+    def update(self, ip: int, taken: bool) -> bool:
+        """Predict-then-train; returns whether the prediction was correct."""
+        index = self._index(ip)
+        prediction = self._counters[index] >= 2
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            if self._counters[index] < 3:
+                self._counters[index] += 1
+        else:
+            if self._counters[index] > 0:
+                self._counters[index] -= 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (1.0 before any)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -1,0 +1,76 @@
+"""GSHARE conditional-direction predictor [McF93].
+
+A global history register is XORed with the branch address to index a
+table of 2-bit saturating counters.  The paper uses a 16-bit history
+for both the XBC's XBP and the TC's multiple-branch predictor; the TC
+consumes up to three predictions per cycle, which with a global-history
+scheme simply means three sequential predict/shift steps.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.common.bitutils import log2_exact
+
+
+class GsharePredictor:
+    """2-bit-counter gshare with configurable history and table size."""
+
+    def __init__(self, history_bits: int = 16, table_entries: int = 65536) -> None:
+        log2_exact(table_entries)  # validates power of two
+        if not 0 <= history_bits <= 30:
+            raise ValueError(f"history_bits out of range: {history_bits}")
+        self.history_bits = history_bits
+        self.table_entries = table_entries
+        self._index_mask = table_entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        # Counters start weakly taken: loop-heavy code warms up faster,
+        # and the choice washes out after a few thousand branches.
+        self._counters = array("b", [2]) * table_entries
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, ip: int) -> int:
+        # Drop the low bit (branches are >= 2 bytes apart in practice)
+        # and fold the history over the address.
+        return ((ip >> 1) ^ self.history) & self._index_mask
+
+    def predict(self, ip: int) -> bool:
+        """Predicted direction for the branch at *ip* (no state change)."""
+        return self._counters[self._index(ip)] >= 2
+
+    def update(self, ip: int, taken: bool) -> bool:
+        """Predict, then train on the actual outcome.
+
+        Returns ``True`` when the prediction was correct.  This is the
+        single call the trace-driven frontends make per conditional
+        branch: predict-then-train with the committed outcome.
+        """
+        index = self._index(ip)
+        prediction = self._counters[index] >= 2
+        correct = prediction == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            if self._counters[index] < 3:
+                self._counters[index] += 1
+        else:
+            if self._counters[index] > 0:
+                self._counters[index] -= 1
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (1.0 before any)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        """Zero the accuracy counters, keeping the learned state."""
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,86 @@
+"""Indirect-target predictor.
+
+Backs both the build-mode frontend's indirect prediction and the XiBTB
+of §3.5 (which predicts the next *XB* for indirect-ended XBs — same
+mechanism, different payload).  The design is a tagged target cache: a
+table indexed by branch address XOR folded path history, storing the
+last observed target per (index, tag).  History folding gives the
+per-path target separation that makes switch-heavy code predictable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Optional, Tuple, TypeVar
+
+from repro.common.bitutils import log2_exact
+
+T = TypeVar("T")
+
+
+class IndirectPredictor(Generic[T]):
+    """History-hashed last-target predictor with bounded capacity."""
+
+    def __init__(self, table_entries: int = 1024, history_bits: int = 8) -> None:
+        log2_exact(table_entries)
+        self.table_entries = table_entries
+        self._index_mask = table_entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._table: Dict[int, Tuple[int, T]] = {}  # index -> (tag, target)
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index_tag(self, ip: int) -> Tuple[int, int]:
+        hashed = (ip >> 1) ^ (self.history << 2)
+        return hashed & self._index_mask, ip
+
+    def predict(self, ip: int) -> Optional[T]:
+        """Predicted target payload for *ip*, or ``None`` when untrained."""
+        index, tag = self._index_tag(ip)
+        entry = self._table.get(index)
+        if entry is not None and entry[0] == tag:
+            return entry[1]
+        return None
+
+    def update(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> bool:
+        """Predict-then-train with the committed target.
+
+        Returns ``True`` when the prediction matched.  The global path
+        history is advanced with low bits of the actual target so that
+        successive executions along different paths use different table
+        slots.
+        """
+        index, tag = self._index_tag(ip)
+        entry = self._table.get(index)
+        predicted = entry[1] if entry is not None and entry[0] == tag else None
+        correct = predicted == actual
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self._table[index] = (tag, actual)
+        raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)
+        # Fold the target address down to a nibble; mixing the higher
+        # bits in matters because code addresses share low-bit alignment.
+        mixed = (raw ^ (raw >> 4) ^ (raw >> 9)) & 0xF
+        self.history = ((self.history << 2) ^ mixed) & self._history_mask
+        return correct
+
+    def train(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> None:
+        """Write a mapping and advance history without prediction stats.
+
+        Callers that manage their own prediction bookkeeping (the XBC's
+        XiBTB path, which validates predictions against fetch-unit
+        content) use this instead of :meth:`update`.
+        """
+        index, tag = self._index_tag(ip)
+        self._table[index] = (tag, actual)
+        raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)
+        mixed = (raw ^ (raw >> 4) ^ (raw >> 9)) & 0xF
+        self.history = ((self.history << 2) ^ mixed) & self._history_mask
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (1.0 before any)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

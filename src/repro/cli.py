@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+- ``fig1`` / ``fig8`` / ``fig9`` / ``fig10`` — regenerate a figure;
+- ``claims`` — the §4/§5 in-text claims (T2, T3);
+- ``ablate`` — §3 design-choice ablations;
+- ``run`` — simulate one frontend on one synthetic trace;
+- ``info`` — describe the registry workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import default_registry, make_trace
+from repro.harness.runner import FRONTEND_KINDS, run_frontend
+from repro.harness.experiments import (
+    format_ablations,
+    format_claims,
+    format_fig1,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    run_ablations,
+    run_claims,
+    run_fig1,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from repro.harness import results
+from repro.program.profiles import SUITE_NAMES
+
+
+def _maybe_csv(args, table) -> None:
+    if getattr(args, "csv", None):
+        results.write_csv(table, args.csv)
+        print(f"[csv written to {args.csv}]")
+
+
+def _run_all(args) -> None:
+    """Run every figure + claims, writing text and CSV artifacts."""
+    os.makedirs(args.out, exist_ok=True)
+    specs = _registry(args)
+
+    fig1 = run_fig1(specs)
+    fig8 = run_fig8(specs)
+    fig9 = run_fig9(specs)
+    fig10 = run_fig10(specs)
+    claims = run_claims(specs, fig9=fig9)
+    ablations = run_ablations(specs)
+
+    artifacts = [
+        ("fig1", format_fig1(fig1), results.fig1_table(fig1)),
+        ("fig8", format_fig8(fig8), results.fig8_table(fig8)),
+        ("fig9", format_fig9(fig9), results.fig9_table(fig9)),
+        ("fig10", format_fig10(fig10), results.fig10_table(fig10)),
+        ("claims", format_claims(claims), results.claims_table(claims)),
+        ("ablations", format_ablations(ablations),
+         results.ablations_table(ablations)),
+    ]
+    for name, text, table in artifacts:
+        print(text)
+        print()
+        with open(os.path.join(args.out, f"{name}.txt"), "w") as handle:
+            handle.write(text + "\n")
+        results.write_csv(table, os.path.join(args.out, f"{name}.csv"))
+    print(f"[wrote {len(artifacts)} x (txt, csv) into {args.out}/]")
+
+
+def _add_registry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--traces-per-suite", type=int, default=3,
+        help="synthetic traces per suite (default 3; paper used 8/8/5)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's 8/8/5 trace counts",
+    )
+    parser.add_argument(
+        "--length", type=int, default=150_000,
+        help="dynamic trace length in uops (default 150000)",
+    )
+    parser.add_argument(
+        "--suite", choices=SUITE_NAMES, default=None,
+        help="restrict to one suite",
+    )
+
+
+def _registry(args: argparse.Namespace):
+    suites = [args.suite] if args.suite else None
+    return default_registry(
+        traces_per_suite=args.traces_per_suite,
+        length_uops=args.length,
+        full=args.full,
+        suites=suites,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="eXtended Block Cache (HPCA 2000) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="block-length distributions (Figure 1)")
+    _add_registry_args(p)
+    p.add_argument("--histograms", action="store_true",
+                   help="also print the full distributions")
+    p.add_argument("--csv", metavar="FILE", default=None,
+                   help="also write the series as CSV")
+
+    p = sub.add_parser("fig8", help="XBC vs TC bandwidth per trace (Figure 8)")
+    _add_registry_args(p)
+    p.add_argument("--size", type=int, default=8192, help="uop budget")
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser("fig9", help="miss rate vs cache size (Figure 9)")
+    _add_registry_args(p)
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[2048, 4096, 8192, 16384])
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser("fig10", help="miss rate vs associativity (Figure 10)")
+    _add_registry_args(p)
+    p.add_argument("--size", type=int, default=16384, help="uop budget")
+    p.add_argument("--assocs", type=int, nargs="+", default=[1, 2, 4])
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser("claims", help="§4/§5 in-text claims (T2, T3)")
+    _add_registry_args(p)
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[2048, 4096, 8192, 16384])
+    p.add_argument("--reference-size", type=int, default=8192)
+
+    p = sub.add_parser("ablate", help="XBC design-choice ablations")
+    _add_registry_args(p)
+    p.add_argument("--size", type=int, default=8192, help="uop budget")
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser(
+        "all", help="run every figure + claims, writing text and CSV"
+    )
+    _add_registry_args(p)
+    p.add_argument("--out", metavar="DIR", default="results",
+                   help="output directory (default ./results)")
+
+    p = sub.add_parser("run", help="simulate one frontend on one trace")
+    p.add_argument("frontend", choices=FRONTEND_KINDS)
+    p.add_argument("--suite", choices=SUITE_NAMES, default="specint")
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--length", type=int, default=150_000)
+    p.add_argument("--size", type=int, default=8192)
+
+    p = sub.add_parser("analyze", help="workload analysis: redundancy, "
+                       "multi-entry XBs, reuse distances")
+    p.add_argument("--suite", choices=SUITE_NAMES, default="specint")
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--length", type=int, default=100_000)
+
+    p = sub.add_parser(
+        "sweep", help="sweep XBC config fields over the registry"
+    )
+    _add_registry_args(p)
+    p.add_argument("--param", action="append", default=[], metavar="NAME=V1,V2",
+                   help="XbcConfig field and values (repeatable)")
+    p.add_argument("--size", type=int, default=8192,
+                   help="base uop budget (default 8192)")
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser(
+        "generate", help="write registry traces to disk as .trace files"
+    )
+    _add_registry_args(p)
+    p.add_argument("--out", metavar="DIR", default="traces",
+                   help="output directory (default ./traces)")
+
+    p = sub.add_parser("info", help="describe the registry workloads")
+    _add_registry_args(p)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig1":
+        result = run_fig1(_registry(args))
+        print(format_fig1(result, histograms=args.histograms))
+        _maybe_csv(args, results.fig1_table(result))
+    elif args.command == "fig8":
+        rows = run_fig8(_registry(args), total_uops=args.size)
+        print(format_fig8(rows, total_uops=args.size))
+        _maybe_csv(args, results.fig8_table(rows))
+    elif args.command == "fig9":
+        result = run_fig9(_registry(args), sizes=args.sizes)
+        print(format_fig9(result))
+        _maybe_csv(args, results.fig9_table(result))
+    elif args.command == "fig10":
+        result = run_fig10(
+            _registry(args), assocs=args.assocs, total_uops=args.size
+        )
+        print(format_fig10(result))
+        _maybe_csv(args, results.fig10_table(result))
+    elif args.command == "claims":
+        print(format_claims(run_claims(
+            _registry(args), sizes=args.sizes,
+            reference_size=args.reference_size,
+        )))
+    elif args.command == "ablate":
+        rows = run_ablations(_registry(args), total_uops=args.size)
+        print(format_ablations(rows))
+        _maybe_csv(args, results.ablations_table(rows))
+    elif args.command == "all":
+        _run_all(args)
+    elif args.command == "run":
+        specs = [
+            s for s in default_registry(
+                traces_per_suite=args.index + 1, length_uops=args.length,
+                suites=[args.suite],
+            )
+            if s.index == args.index
+        ]
+        trace = make_trace(specs[0])
+        print(trace.describe())
+        stats = run_frontend(
+            args.frontend, trace, FrontendConfig(), total_uops=args.size
+        )
+        print(stats.summary())
+    elif args.command == "analyze":
+        from repro.analysis import (
+            measure_fragmentation,
+            measure_stack_distances,
+            measure_tc_redundancy,
+            measure_xb_usage,
+        )
+
+        specs = [
+            s for s in default_registry(
+                traces_per_suite=args.index + 1, length_uops=args.length,
+                suites=[args.suite],
+            )
+            if s.index == args.index
+        ]
+        trace = make_trace(specs[0])
+        print(trace.describe())
+        print()
+        print(measure_xb_usage(trace).summary())
+        print()
+        print(measure_tc_redundancy(trace).summary())
+        print()
+        print(measure_stack_distances(trace).summary())
+        print()
+        print(measure_fragmentation(trace).summary())
+    elif args.command == "sweep":
+        from repro.harness.sweep import format_sweep, parse_param, run_sweep
+        from repro.xbc.config import XbcConfig
+
+        grid = {}
+        for fragment in args.param or ["ways_per_bank=1,2,4"]:
+            grid.update(parse_param(fragment))
+        rows = run_sweep(grid, _registry(args),
+                         base=XbcConfig(total_uops=args.size))
+        print(format_sweep(rows))
+        if args.csv:
+            table = (
+                ["parameters", "miss_rate", "delivery_bandwidth",
+                 "fetch_bandwidth", "valid"],
+                [[r.label(), r.miss_rate, r.delivery_bandwidth,
+                  r.fetch_bandwidth, r.valid] for r in rows],
+            )
+            results.write_csv(table, args.csv)
+            print(f"[csv written to {args.csv}]")
+    elif args.command == "generate":
+        from repro.trace.tracefile import save_trace
+
+        os.makedirs(args.out, exist_ok=True)
+        for spec in _registry(args):
+            trace = make_trace(spec)
+            path = os.path.join(args.out, f"{spec.name}.trace")
+            save_trace(trace, path)
+            print(f"{path}: {trace.describe()}")
+    elif args.command == "info":
+        for spec in _registry(args):
+            trace = make_trace(spec)
+            print(trace.describe())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Shared low-level utilities for the XBC reproduction.
+
+This package hosts the pieces every other subsystem leans on:
+deterministic random-number helpers (:mod:`repro.common.rng`),
+histogram/statistics containers (:mod:`repro.common.histogram`),
+ASCII table rendering for the experiment reports
+(:mod:`repro.common.tables`), bit-twiddling helpers
+(:mod:`repro.common.bitutils`) and the library's exception hierarchy
+(:mod:`repro.common.errors`).
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ConfigError,
+    GenerationError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.common.histogram import Histogram, RunningStats
+from repro.common.rng import DeterministicRng
+from repro.common.tables import format_table
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "GenerationError",
+    "SimulationError",
+    "TraceFormatError",
+    "Histogram",
+    "RunningStats",
+    "DeterministicRng",
+    "format_table",
+]

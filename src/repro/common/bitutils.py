@@ -1,0 +1,59 @@
+"""Small bit-manipulation helpers used by the cache models.
+
+The XBC identifies the banks holding an extended block with a *mask
+vector* (one bit per bank); these helpers keep that representation
+readable at the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+
+def bit_set(mask: int, position: int) -> int:
+    """Return *mask* with bit *position* set."""
+    return mask | (1 << position)
+
+
+def bit_test(mask: int, position: int) -> bool:
+    """True when bit *position* of *mask* is set."""
+    return bool(mask & (1 << position))
+
+def bit_clear(mask: int, position: int) -> int:
+    """Return *mask* with bit *position* cleared."""
+    return mask & ~(1 << position)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of *mask*, lowest first."""
+    position = 0
+    while mask:
+        if mask & 1:
+            yield position
+        mask >>= 1
+        position += 1
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return bin(mask).count("1")
+
+
+def mask_of(positions: List[int]) -> int:
+    """Build a mask from a list of bit positions."""
+    mask = 0
+    for position in positions:
+        mask |= 1 << position
+    return mask
+
+
+def log2_exact(value: int) -> int:
+    """Integer log2 of a power of two; raises ``ValueError`` otherwise.
+
+    Cache geometry parameters (set counts, line sizes) must be powers of
+    two so index extraction is a shift, matching the hardware the paper
+    assumes.
+    """
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

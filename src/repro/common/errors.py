@@ -1,0 +1,33 @@
+"""Exception hierarchy for the XBC reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming from this package with a single handler
+while still being able to distinguish configuration mistakes from
+simulator bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class GenerationError(ReproError):
+    """The synthetic program generator could not satisfy its profile."""
+
+
+class SimulationError(ReproError):
+    """An internal invariant of a frontend simulator was violated.
+
+    Seeing this exception always indicates a bug in the simulator (or a
+    corrupted trace), never a legal-but-unlucky workload.
+    """
+
+
+class TraceFormatError(ReproError):
+    """A serialized trace file could not be parsed."""

@@ -1,0 +1,143 @@
+"""Histogram and running-statistics containers.
+
+The paper's Figure 1 is a length-distribution histogram and its other
+figures are averages over traces; these two small classes are the
+library's uniform way of collecting such data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+
+class Histogram:
+    """An integer-valued histogram with summary statistics.
+
+    Values are bucketed exactly (one bucket per distinct integer), which
+    suits block-length distributions whose support is 1..16.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._sum = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Record *value* occurring *count* times."""
+        if count <= 0:
+            return
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._total += count
+        self._sum += value * count
+
+    def update(self, values: Iterable[int]) -> None:
+        """Record every value in *values* once."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        """Number of recorded samples."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples (0.0 when empty)."""
+        if self._total == 0:
+            return 0.0
+        return self._sum / self._total
+
+    def count_of(self, value: int) -> int:
+        """Number of samples equal to *value*."""
+        return self._counts.get(value, 0)
+
+    def fraction_of(self, value: int) -> float:
+        """Fraction of samples equal to *value* (0.0 when empty)."""
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(value, 0) / self._total
+
+    def items(self) -> List[Tuple[int, int]]:
+        """Sorted ``(value, count)`` pairs."""
+        return sorted(self._counts.items())
+
+    def percentile(self, q: float) -> int:
+        """Smallest value at or below which at least ``q`` of samples fall.
+
+        ``q`` is a fraction in (0, 1].  Raises ``ValueError`` on an empty
+        histogram because there is no meaningful answer.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile fraction out of range: {q}")
+        if self._total == 0:
+            raise ValueError("percentile of an empty histogram")
+        threshold = q * self._total
+        running = 0
+        for value, count in self.items():
+            running += count
+            if running >= threshold:
+                return value
+        return self.items()[-1][0]
+
+    def merged_with(self, other: "Histogram") -> "Histogram":
+        """Return a new histogram combining both operands."""
+        result = Histogram()
+        for value, count in self.items():
+            result.add(value, count)
+        for value, count in other.items():
+            result.add(value, count)
+        return result
+
+    def render(self, width: int = 40, label: str = "") -> str:
+        """ASCII bar-chart rendering, one row per distinct value."""
+        lines = []
+        if label:
+            lines.append(label)
+        peak = max((c for _, c in self.items()), default=1)
+        for value, count in self.items():
+            bar = "#" * max(1, round(width * count / peak))
+            lines.append(f"{value:>4}  {count:>8}  {bar}")
+        lines.append(f"mean={self.mean:.2f}  n={self.total}")
+        return "\n".join(lines)
+
+
+class RunningStats:
+    """Streaming mean/variance/min/max without storing samples.
+
+    Uses Welford's algorithm, which stays numerically stable over the
+    hundreds of thousands of per-cycle samples a simulation produces.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the samples so far (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)

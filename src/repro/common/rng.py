@@ -1,0 +1,120 @@
+"""Deterministic random-number helpers.
+
+Everything stochastic in the library (program synthesis, branch
+behaviour, trace execution) draws from a :class:`DeterministicRng`,
+a thin wrapper over :class:`random.Random` that adds the distributions
+the workload generator needs: bounded geometric draws, Zipf-weighted
+choices and mixture selection.  Wrapping the standard generator keeps
+runs reproducible from a single integer seed and lets substreams be
+forked without correlating with the parent stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+# A large odd constant used to decorrelate forked substreams.  The exact
+# value is irrelevant; it only needs to be fixed and odd.
+_FORK_MIX = 0x9E3779B97F4A7C15
+
+
+class DeterministicRng:
+    """A seeded random source with workload-oriented distributions.
+
+    Parameters
+    ----------
+    seed:
+        Any integer.  Two instances created with the same seed produce
+        identical streams.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        """Rewind the stream to its initial (seed) state.
+
+        Behaviour objects call this so that re-executing a program
+        yields an identical trace.
+        """
+        self._rng = random.Random(self.seed)
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Return an independent substream derived from *seed* and *salt*.
+
+        Forking is how the generator gives each function/branch its own
+        stream, so inserting a new draw in one place does not reshuffle
+        every subsequent decision.
+        """
+        mixed = (self.seed * _FORK_MIX + salt * 0x100000001B3) & (2**64 - 1)
+        return DeterministicRng(mixed)
+
+    # -- direct pass-throughs ------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._rng.random()
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        return self._rng.randint(lo, hi)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniform choice from a non-empty sequence."""
+        return self._rng.choice(seq)
+
+    def shuffle(self, items: List[T]) -> None:
+        """Shuffle *items* in place."""
+        self._rng.shuffle(items)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        """Sample *k* distinct items."""
+        return self._rng.sample(seq, k)
+
+    # -- distributions -------------------------------------------------------
+
+    def geometric(self, mean: float, lo: int = 1, hi: int = 10**9) -> int:
+        """Geometric draw with the given mean, clamped to [lo, hi].
+
+        Block sizes, trip counts and similar "mostly small, sometimes
+        large" quantities use this shape; it matches the long-tailed
+        basic-block-length statistics reported for IA-32 code.
+        """
+        if mean <= lo:
+            return lo
+        p = 1.0 / (mean - lo + 1.0)
+        value = lo
+        while value < hi and self._rng.random() >= p:
+            value += 1
+        return value
+
+    def weighted_choice(self, pairs: Sequence[Tuple[T, float]]) -> T:
+        """Choose an item given ``(item, weight)`` pairs."""
+        total = sum(weight for _, weight in pairs)
+        point = self._rng.random() * total
+        acc = 0.0
+        for item, weight in pairs:
+            acc += weight
+            if point < acc:
+                return item
+        return pairs[-1][0]
+
+    def zipf_weights(self, count: int, skew: float = 1.0) -> List[float]:
+        """Return *count* Zipf-distributed weights summing to 1.
+
+        Indirect-branch target popularity follows this shape: one or two
+        dominant targets plus a tail, which is what makes indirect
+        prediction neither trivial nor hopeless.
+        """
+        raw = [1.0 / (rank**skew) for rank in range(1, count + 1)]
+        total = sum(raw)
+        return [w / total for w in raw]
+
+    def zipf_choice(self, items: Sequence[T], skew: float = 1.0) -> T:
+        """Choose from *items* with Zipf-decaying popularity by position."""
+        weights = self.zipf_weights(len(items), skew)
+        return self.weighted_choice(list(zip(items, weights)))

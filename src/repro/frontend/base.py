@@ -1,0 +1,72 @@
+"""Abstract frontend model and the uop-flow (queue + renamer) helper.
+
+Every frontend simulation follows the same outer shape: a cycle loop
+that drains the renamer, checks decoupling-queue space, and then runs
+either a build-mode or a delivery-mode fetch step.  The queue/renamer
+mechanics are identical across models and live in :class:`UopFlow`;
+the abstract :class:`FrontendModel` fixes the public interface the
+harness drives.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.frontend.config import FrontendConfig
+from repro.frontend.metrics import FrontendStats
+from repro.trace.record import Trace
+
+
+class UopFlow:
+    """Decoupling uop queue feeding a fixed-width renamer.
+
+    The queue is modelled by occupancy only — the simulators never need
+    the identity of queued uops, just backpressure: fetch stalls when a
+    full fetch window would not fit ([Rein99]-style decoupling).
+    """
+
+    def __init__(self, config: FrontendConfig, stats: FrontendStats) -> None:
+        self.depth = config.uop_queue_depth
+        self.renamer_width = config.renamer_width
+        self.stats = stats
+        self.occupancy = 0
+
+    def drain(self) -> int:
+        """One renamer cycle: retire up to ``renamer_width`` uops."""
+        taken = min(self.occupancy, self.renamer_width)
+        self.occupancy -= taken
+        self.stats.retired_uops += taken
+        return taken
+
+    def drain_all(self) -> None:
+        """Drain the queue to empty, counting the cycles (run epilogue)."""
+        while self.occupancy > 0:
+            self.stats.cycles += 1
+            self.drain()
+
+    def can_accept(self, uops: int) -> bool:
+        """Whether *uops* more uops fit in the queue."""
+        return self.depth - self.occupancy >= uops
+
+    def push(self, uops: int) -> None:
+        """Enqueue freshly fetched uops (callers check space first)."""
+        self.occupancy += uops
+
+
+class FrontendModel(abc.ABC):
+    """Interface of a simulatable frontend."""
+
+    #: short machine-readable name ("ic", "tc", "xbc", "bbtc")
+    name: str = "abstract"
+
+    def __init__(self, config: FrontendConfig) -> None:
+        config.validate()
+        self.config = config
+
+    @abc.abstractmethod
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the whole trace, returning the run's statistics."""
+
+    def describe(self) -> str:
+        """Human-readable identification used in reports."""
+        return self.name

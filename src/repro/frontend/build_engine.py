@@ -1,0 +1,169 @@
+"""Build-mode fetch/decode engine.
+
+This models the "traditional IC based frontend" in the upper half of
+the paper's Figure 6: BTB-steered fetch of aligned blocks from the
+instruction cache, decode-width-limited translation into uops.  All
+three frontend models share it — the TC and XBC run it whenever they
+are in build mode and feed its output to their fill units, while the
+baseline IC frontend runs it exclusively.
+
+One call to :meth:`BuildEngine.fetch_cycle` is one build-mode cycle:
+it supplies the instructions fetched and decoded that cycle (following
+the *actual* trace path; prediction quality is charged as stall cycles,
+the standard trace-driven-frontend treatment) plus the penalty cycles
+incurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.trace.record import DynInstr
+
+
+@dataclass
+class BuildCycle:
+    """What one build-mode cycle produced."""
+
+    records: List[DynInstr] = field(default_factory=list)
+    uops: int = 0
+    #: stall cycles by cause, to be charged by the caller.
+    penalties: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, cause: str, cycles: int) -> None:
+        """Accumulate penalty cycles under a cause label."""
+        if cycles > 0:
+            self.penalties[cause] = self.penalties.get(cause, 0) + cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        """Total penalty cycles this fetch cycle incurred."""
+        return sum(self.penalties.values())
+
+
+class BuildEngine:
+    """Shared build-mode fetch pipeline."""
+
+    def __init__(
+        self,
+        config: FrontendConfig,
+        stats: FrontendStats,
+        icache: InstructionCache,
+        cond_predictor: GsharePredictor,
+        btb: BranchTargetBuffer,
+        rsb: ReturnStackBuffer,
+        indirect: IndirectPredictor,
+    ) -> None:
+        self.config = config
+        self.stats = stats
+        self.icache = icache
+        self.cond_predictor = cond_predictor
+        self.btb = btb
+        self.rsb = rsb
+        self.indirect = indirect
+
+    def fetch_cycle(
+        self,
+        records: List[DynInstr],
+        pos: int,
+    ) -> Tuple[int, BuildCycle]:
+        """Run one build-mode cycle starting at trace position *pos*.
+
+        Returns the new trace position and the cycle's results.  Fetch
+        stops at the decode-width limit, at the fetch-block boundary,
+        or after the first control transfer (taken branch or call/ret).
+        """
+        config = self.config
+        cycle = BuildCycle()
+        record = records[pos]
+
+        self.stats.ic_lookups += 1
+        if not self.icache.access(record.ip):
+            self.stats.ic_misses += 1
+            cycle.charge("ic_miss", config.ic_miss_latency)
+
+        window_start = record.ip & ~(config.fetch_block_bytes - 1)
+        window_end = window_start + config.fetch_block_bytes
+
+        while len(cycle.records) < config.decode_width and pos < len(records):
+            record = records[pos]
+            if not window_start <= record.ip < window_end:
+                break  # sequential prefetch continues next cycle
+            cycle.records.append(record)
+            cycle.uops += record.instr.num_uops
+            pos += 1
+            if record.instr.kind.is_branch:
+                redirected = self._handle_branch(record, cycle)
+                if redirected:
+                    break
+        return pos, cycle
+
+    # ------------------------------------------------------------------
+
+    def _handle_branch(self, record: DynInstr, cycle: BuildCycle) -> bool:
+        """Predict/train on a branch; returns True when fetch must stop."""
+        config = self.config
+        stats = self.stats
+        kind = record.instr.kind
+        ip = record.ip
+
+        if kind is InstrKind.COND_BRANCH:
+            stats.cond_predictions += 1
+            correct = self.cond_predictor.update(ip, record.taken)
+            if not correct:
+                stats.cond_mispredicts += 1
+                cycle.charge("mispredict", config.mispredict_penalty)
+                return True
+            if record.taken:
+                self._charge_redirect(ip, record.next_ip, cycle)
+                return True
+            return False
+
+        if kind is InstrKind.JUMP:
+            self._charge_redirect(ip, record.next_ip, cycle)
+            return True
+
+        if kind is InstrKind.CALL:
+            self.rsb.push(record.instr.next_ip)
+            self._charge_redirect(ip, record.next_ip, cycle)
+            return True
+
+        if kind is InstrKind.RETURN:
+            stats.return_predictions += 1
+            predicted = self.rsb.pop()
+            if predicted != record.next_ip:
+                stats.return_mispredicts += 1
+                cycle.charge("mispredict", config.mispredict_penalty)
+            else:
+                cycle.charge("redirect", config.taken_branch_bubble)
+            return True
+
+        # Indirect jump or indirect call.
+        stats.indirect_predictions += 1
+        if kind is InstrKind.INDIRECT_CALL:
+            self.rsb.push(record.instr.next_ip)
+        correct = self.indirect.update(ip, record.next_ip, record.next_ip)
+        if not correct:
+            stats.indirect_mispredicts += 1
+            cycle.charge("mispredict", config.mispredict_penalty)
+        else:
+            cycle.charge("redirect", config.taken_branch_bubble)
+        return True
+
+    def _charge_redirect(self, ip: int, target: int, cycle: BuildCycle) -> None:
+        """Charge the redirect cost of a taken direct branch via the BTB."""
+        predicted = self.btb.lookup(ip)
+        if predicted == target:
+            cycle.charge("redirect", self.config.taken_branch_bubble)
+        else:
+            cycle.charge("btb_miss", self.config.btb_miss_penalty)
+            self.btb.install(ip, target)

@@ -1,0 +1,276 @@
+"""Decoded (uop) cache frontend — the §2.2 comparator.
+
+Between the plain IC and the trace cache sits the *decoded cache*: it
+stores uops (skipping decode on a hit) but keeps them in static program
+order, so it inherits the IC's bandwidth ceiling — one consecutive run
+of instructions per cycle, broken by every taken branch.  The paper
+also notes its hit rate is slightly *worse* than the IC's because
+fixed-size uop lines fragment (a line must reserve the worst-case uop
+space, and jump targets mid-line force duplicate lines).
+
+The model: lines are anchored at the instruction IP that entered them
+and hold the uops of consecutive instructions up to a uop quota;
+control entering mid-run anchors a new (partially duplicate) line —
+reproducing both fragmentation effects the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.common.bitutils import log2_exact
+from repro.common.errors import ConfigError
+from repro.frontend.base import FrontendModel, UopFlow
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr, Trace
+
+
+@dataclass(frozen=True)
+class DcConfig:
+    """Geometry of the decoded cache."""
+
+    total_uops: int = 8192
+    line_uops: int = 8
+    assoc: int = 4
+
+    @property
+    def num_sets(self) -> int:
+        """Sets implied by the uop budget."""
+        return self.total_uops // (self.line_uops * self.assoc)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on inconsistent geometry."""
+        if self.line_uops < 4:
+            raise ConfigError("line_uops must be >= 4")
+        if self.total_uops % (self.line_uops * self.assoc):
+            raise ConfigError("total_uops must be divisible by line*assoc")
+        try:
+            log2_exact(self.num_sets)
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
+
+
+class _DcLine:
+    """One decoded line: consecutive instructions from an anchor IP."""
+
+    __slots__ = ("start_ip", "instrs", "uops")
+
+    def __init__(self, instrs: List[Instruction]) -> None:
+        self.start_ip = instrs[0].ip
+        self.instrs = instrs
+        self.uops = sum(i.num_uops for i in instrs)
+
+
+class DecodedCacheFrontend(FrontendModel):
+    """Uop cache with IC-like (single-run) fetch bandwidth."""
+
+    name = "dc"
+
+    def __init__(
+        self,
+        config: FrontendConfig = FrontendConfig(),
+        dc_config: DcConfig = DcConfig(),
+    ) -> None:
+        super().__init__(config)
+        dc_config.validate()
+        self.dc_config = dc_config
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the trace with a decoded-uop cache over the IC."""
+        config = self.config
+        dc = self.dc_config
+        stats = FrontendStats(frontend=self.name, trace_name=trace.name)
+        flow = UopFlow(config, stats)
+        gshare = GsharePredictor(config.gshare_history_bits, config.gshare_entries)
+        rsb: ReturnStackBuffer = ReturnStackBuffer(config.rsb_depth)
+        indirect: IndirectPredictor = IndirectPredictor(
+            config.indirect_entries, config.indirect_history_bits
+        )
+        engine = BuildEngine(
+            config=config,
+            stats=stats,
+            icache=InstructionCache(
+                config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+            ),
+            cond_predictor=gshare,
+            btb=BranchTargetBuffer(config.btb_entries, config.btb_assoc),
+            rsb=rsb,
+            indirect=indirect,
+        )
+
+        # line store: set -> {start_ip: (line, stamp)}
+        sets: List[Dict[int, Tuple[_DcLine, int]]] = [
+            {} for _ in range(dc.num_sets)
+        ]
+        set_mask = dc.num_sets - 1
+        clock = 0
+
+        def lookup(ip: int) -> Optional[_DcLine]:
+            nonlocal clock
+            bucket = sets[(ip >> 1) & set_mask]
+            entry = bucket.get(ip)
+            if entry is None:
+                return None
+            clock += 1
+            bucket[ip] = (entry[0], clock)
+            return entry[0]
+
+        def insert(line: _DcLine) -> None:
+            nonlocal clock
+            bucket = sets[(line.start_ip >> 1) & set_mask]
+            clock += 1
+            if line.start_ip not in bucket and len(bucket) >= dc.assoc:
+                victim = min(bucket, key=lambda k: bucket[k][1])
+                del bucket[victim]
+            bucket[line.start_ip] = (line, clock)
+
+        records = trace.records
+        total = len(records)
+        pos = 0
+        delivery = False
+        pending: List[Instruction] = []
+        pending_uops = 0
+        pending_next_ip = -1
+
+        def close_pending() -> bool:
+            nonlocal pending, pending_uops
+            if not pending:
+                return False
+            insert(_DcLine(pending))
+            stats.blocks_built += 1
+            pending = []
+            pending_uops = 0
+            return True
+
+        max_build_uops = 4 * config.decode_width
+
+        while pos < total:
+            stats.cycles += 1
+            flow.drain()
+
+            if delivery:
+                stats.delivery_cycles += 1
+                if not flow.can_accept(dc.line_uops):
+                    continue
+                stats.structure_lookups += 1
+                line = lookup(records[pos].ip)
+                if line is None:
+                    delivery = False
+                    stats.switches_to_build += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+                    continue
+                stats.structure_hits += 1
+                stats.structure_fetch_cycles += 1
+                uops, pos = self._consume_line(
+                    line, records, pos, stats, gshare, rsb, indirect
+                )
+                stats.uops_from_structure += uops
+                flow.push(uops)
+            else:
+                stats.build_cycles += 1
+                if not flow.can_accept(max_build_uops):
+                    continue
+                pos, cycle = engine.fetch_cycle(records, pos)
+                stats.uops_from_ic += cycle.uops
+                flow.push(cycle.uops)
+                for cause, cycles in cycle.penalties.items():
+                    stats.add_penalty(cause, cycles)
+
+                closed = False
+                for record in cycle.records:
+                    instr = record.instr
+                    if pending and (
+                        instr.ip != pending_next_ip
+                        or pending_uops + instr.num_uops > dc.line_uops
+                    ):
+                        closed |= close_pending()
+                    pending.append(instr)
+                    pending_uops += instr.num_uops
+                    pending_next_ip = instr.next_ip
+                    # Lines hold statically consecutive instructions, so
+                    # any single-target-or-better break ends them; a
+                    # conditional's fallthrough may continue in-line.
+                    ends = instr.kind.is_branch and (
+                        instr.kind is not InstrKind.COND_BRANCH
+                        or record.taken
+                    )
+                    if ends or pending_uops >= dc.line_uops:
+                        closed |= close_pending()
+                if closed and pos < total and lookup(records[pos].ip):
+                    delivery = True
+                    pending = []
+                    pending_uops = 0
+                    stats.switches_to_delivery += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+
+        flow.drain_all()
+        stats.extra["dc_resident_lines"] = sum(len(b) for b in sets)
+        stats.verify_conservation(trace.total_uops)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _consume_line(
+        self,
+        line: _DcLine,
+        records: List[DynInstr],
+        pos: int,
+        stats: FrontendStats,
+        gshare: GsharePredictor,
+        rsb: ReturnStackBuffer,
+        indirect: IndirectPredictor,
+    ) -> Tuple[int, int]:
+        """Deliver a line against the actual path (one run per cycle)."""
+        config = self.config
+        total = len(records)
+        uops = 0
+        consumed = 0
+        for instr in line.instrs:
+            index = pos + consumed
+            if index >= total:
+                break
+            record = records[index]
+            if record.ip != instr.ip:
+                break
+            consumed += 1
+            uops += instr.num_uops
+            kind = instr.kind
+            if kind is InstrKind.COND_BRANCH:
+                stats.cond_predictions += 1
+                if not gshare.update(record.ip, record.taken):
+                    stats.cond_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+                    break
+                if record.taken:
+                    break  # taken branch ends the fetch run
+            elif kind is InstrKind.CALL:
+                rsb.push(instr.next_ip)
+                break
+            elif kind is InstrKind.RETURN:
+                stats.return_predictions += 1
+                if rsb.pop() != record.next_ip:
+                    stats.return_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+                break
+            elif kind.is_indirect:
+                if kind is InstrKind.INDIRECT_CALL:
+                    rsb.push(instr.next_ip)
+                stats.indirect_predictions += 1
+                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                    stats.indirect_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+                break
+            elif kind is InstrKind.JUMP:
+                break
+        return uops, pos + consumed

@@ -1,0 +1,90 @@
+"""Baseline instruction-cache frontend (paper §2.1).
+
+Always in build mode: every uop is fetched from the IC, decoded, and
+delivered at decode-width.  Its bandwidth ceiling — one consecutive
+run of instructions per cycle, broken by every taken branch — is the
+limitation both the TC and the XBC exist to lift, and it supplies the
+"uops brought from the IC" cost inside those models too.
+
+``ports`` models the §2.1 escape hatch the paper cites ([Yeh93],
+[Cont95], [Sezn96]): a multi-ported IC with multiple branch
+predictions per cycle fetches several consecutive-instruction blocks,
+continuing across correctly-predicted taken branches and stopping at
+the first stall (mispredict, IC miss, BTB miss).
+"""
+
+from __future__ import annotations
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.frontend.base import FrontendModel, UopFlow
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.trace.record import Trace
+
+
+class ICFrontend(FrontendModel):
+    """Conventional frontend: IC + BTB + decoder, no uop structure."""
+
+    name = "ic"
+
+    def __init__(
+        self,
+        config: FrontendConfig = FrontendConfig(),
+        ports: int = 1,
+    ) -> None:
+        super().__init__(config)
+        if ports < 1:
+            raise ValueError(f"ports must be >= 1, got {ports}")
+        self.ports = ports
+
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the whole trace through IC fetch + decode."""
+        config = self.config
+        stats = FrontendStats(frontend=self.name, trace_name=trace.name)
+        flow = UopFlow(config, stats)
+        engine = BuildEngine(
+            config=config,
+            stats=stats,
+            icache=InstructionCache(
+                config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+            ),
+            cond_predictor=GsharePredictor(
+                config.gshare_history_bits, config.gshare_entries
+            ),
+            btb=BranchTargetBuffer(config.btb_entries, config.btb_assoc),
+            rsb=ReturnStackBuffer(config.rsb_depth),
+            indirect=IndirectPredictor(
+                config.indirect_entries, config.indirect_history_bits
+            ),
+        )
+
+        records = trace.records
+        pos = 0
+        max_fetch_uops = 4 * config.decode_width  # worst case 4 uops/instr
+        while pos < len(records):
+            stats.cycles += 1
+            stats.build_cycles += 1
+            flow.drain()
+            for _port in range(self.ports):
+                if pos >= len(records):
+                    break
+                if not flow.can_accept(max_fetch_uops):
+                    break
+                pos, cycle = engine.fetch_cycle(records, pos)
+                stats.uops_from_ic += cycle.uops
+                flow.push(cycle.uops)
+                stalled = False
+                for cause, cycles in cycle.penalties.items():
+                    stats.add_penalty(cause, cycles)
+                    if cause in ("mispredict", "ic_miss", "btb_miss"):
+                        stalled = True
+                if stalled:
+                    break  # redirect resolved by the next cycle
+        flow.drain_all()
+        stats.verify_conservation(trace.total_uops)
+        return stats

@@ -1,0 +1,78 @@
+"""Instruction cache model.
+
+A conventional set-associative, LRU, physically-trivial (no translation
+modelled — the paper's XBC uses virtual tags precisely to skip it)
+instruction cache.  It backs build-mode fetch in every frontend and is
+the whole story for the baseline :class:`~repro.frontend.ic_frontend.ICFrontend`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.bitutils import log2_exact
+from repro.common.errors import ConfigError
+
+
+class _CacheSet:
+    __slots__ = ("lines",)
+
+    def __init__(self) -> None:
+        # line address -> LRU stamp; small dicts beat list scans here.
+        self.lines: Dict[int, int] = {}
+
+
+class InstructionCache:
+    """Set-associative cache of instruction line addresses."""
+
+    def __init__(
+        self,
+        size_bytes: int = 65536,
+        line_bytes: int = 64,
+        assoc: int = 4,
+    ) -> None:
+        if size_bytes % (line_bytes * assoc):
+            raise ConfigError("IC size must be divisible by line*assoc")
+        self.line_bytes = line_bytes
+        self._offset_bits = log2_exact(line_bytes)
+        self.num_sets = size_bytes // (line_bytes * assoc)
+        log2_exact(self.num_sets)
+        self.assoc = assoc
+        self.size_bytes = size_bytes
+        self._sets: List[_CacheSet] = [_CacheSet() for _ in range(self.num_sets)]
+        self._set_mask = self.num_sets - 1
+        self._clock = 0
+        self.lookups = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access the line holding *address*; fills on miss.
+
+        Returns ``True`` on hit.  Fill-on-miss is folded in because the
+        frontends always allocate (no bypass paths in this study).
+        """
+        line_addr = address >> self._offset_bits
+        cache_set = self._sets[line_addr & self._set_mask]
+        self._clock += 1
+        self.lookups += 1
+        if line_addr in cache_set.lines:
+            cache_set.lines[line_addr] = self._clock
+            return True
+        self.misses += 1
+        if len(cache_set.lines) >= self.assoc:
+            victim = min(cache_set.lines, key=cache_set.lines.get)
+            del cache_set.lines[victim]
+        cache_set.lines[line_addr] = self._clock
+        return False
+
+    def contains(self, address: int) -> bool:
+        """Non-allocating presence probe (no LRU update, no stats)."""
+        line_addr = address >> self._offset_bits
+        return line_addr in self._sets[line_addr & self._set_mask].lines
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all accesses so far (1.0 before any)."""
+        if self.lookups == 0:
+            return 1.0
+        return 1.0 - self.misses / self.lookups

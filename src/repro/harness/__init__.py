@@ -1,0 +1,26 @@
+"""Experiment harness.
+
+Maps the paper's evaluation (§4) onto the library: a trace *registry*
+(the synthetic stand-in for the 21-trace workload set), a *runner*
+building frontends by name, and one module per figure/claim under
+:mod:`repro.harness.experiments`.  ``python -m repro <experiment>``
+drives everything from the command line.
+"""
+
+from repro.harness.registry import TraceSpec, default_registry, make_trace, clear_trace_cache
+from repro.harness.runner import make_frontend, run_frontend, FRONTEND_KINDS
+from repro.harness.sweep import SweepRow, run_sweep, format_sweep, parse_param
+
+__all__ = [
+    "TraceSpec",
+    "default_registry",
+    "make_trace",
+    "clear_trace_cache",
+    "make_frontend",
+    "run_frontend",
+    "FRONTEND_KINDS",
+    "SweepRow",
+    "run_sweep",
+    "format_sweep",
+    "parse_param",
+]

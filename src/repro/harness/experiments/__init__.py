@@ -1,0 +1,28 @@
+"""One module per paper artifact.
+
+- :mod:`repro.harness.experiments.fig1` — block-length distributions;
+- :mod:`repro.harness.experiments.fig8` — XBC vs TC bandwidth per trace;
+- :mod:`repro.harness.experiments.fig9` — miss rate vs cache size;
+- :mod:`repro.harness.experiments.fig10` — miss rate vs associativity;
+- :mod:`repro.harness.experiments.claims` — the §4/§5 in-text claims;
+- :mod:`repro.harness.experiments.ablations` — §3 design alternatives.
+
+Each module exposes ``run_*`` returning a result object and
+``format_*`` rendering the same rows/series the paper plots.
+"""
+
+from repro.harness.experiments.fig1 import run_fig1, format_fig1, Fig1Result
+from repro.harness.experiments.fig8 import run_fig8, format_fig8, Fig8Row
+from repro.harness.experiments.fig9 import run_fig9, format_fig9, Fig9Result
+from repro.harness.experiments.fig10 import run_fig10, format_fig10, Fig10Result
+from repro.harness.experiments.claims import run_claims, format_claims, ClaimsResult
+from repro.harness.experiments.ablations import run_ablations, format_ablations, AblationRow
+
+__all__ = [
+    "run_fig1", "format_fig1", "Fig1Result",
+    "run_fig8", "format_fig8", "Fig8Row",
+    "run_fig9", "format_fig9", "Fig9Result",
+    "run_fig10", "format_fig10", "Fig10Result",
+    "run_claims", "format_claims", "ClaimsResult",
+    "run_ablations", "format_ablations", "AblationRow",
+]

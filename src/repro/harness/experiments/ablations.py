@@ -1,0 +1,113 @@
+"""Ablations of the §3 design choices.
+
+The paper motivates several mechanisms qualitatively; these runs
+quantify each one against the full design at the default budget:
+
+- branch promotion off (§3.8),
+- set search off (§3.9 — XBTB-hit/XBC-miss becomes a build switch),
+- dynamic placement off (§3.10 — conflicting lines are never moved),
+- split-prefix overlap policy (§3.3's rejected alternative),
+- bank-count alternatives (2×8 / 8×2 uop lines at the same 16-uop
+  fetch width),
+- single XB pointer per cycle (prediction bandwidth 1 instead of 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.tables import format_table
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+
+@dataclass
+class AblationRow:
+    """Averaged metrics for one configuration."""
+
+    name: str
+    miss_rate: float
+    bandwidth: float
+    fetch_bandwidth: float
+    extras: Dict[str, float]
+
+
+def _variants(total_uops: int) -> Dict[str, XbcConfig]:
+    return {
+        "baseline": XbcConfig(total_uops=total_uops),
+        "no-promotion": XbcConfig(total_uops=total_uops, enable_promotion=False),
+        "no-set-search": XbcConfig(total_uops=total_uops, enable_set_search=False),
+        "no-dyn-placement": XbcConfig(
+            total_uops=total_uops, enable_dynamic_placement=False
+        ),
+        "split-prefix": XbcConfig(total_uops=total_uops, overlap_policy="split"),
+        "2x8-banks": XbcConfig(total_uops=total_uops, banks=2, line_uops=8),
+        "8x2-banks": XbcConfig(total_uops=total_uops, banks=8, line_uops=2),
+        "1-xb-per-cycle": XbcConfig(total_uops=total_uops, xbs_per_cycle=1),
+        # promotion's bandwidth value shows where prediction bandwidth
+        # binds: compare these two against each other.
+        "1-xb-no-promotion": XbcConfig(
+            total_uops=total_uops, xbs_per_cycle=1, enable_promotion=False
+        ),
+        "3-xb-per-cycle": XbcConfig(total_uops=total_uops, xbs_per_cycle=3),
+    }
+
+
+def run_ablations(
+    specs: Optional[List[TraceSpec]] = None,
+    total_uops: int = 8192,
+    fe_config: Optional[FrontendConfig] = None,
+    variants: Optional[Dict[str, XbcConfig]] = None,
+) -> List[AblationRow]:
+    """Run every variant over the registry, averaging the key metrics."""
+    specs = specs if specs is not None else default_registry()
+    fe = fe_config or FrontendConfig()
+    rows: List[AblationRow] = []
+    for name, config in (variants or _variants(total_uops)).items():
+        miss = bw = fbw = 0.0
+        extra_sums: Dict[str, float] = {}
+        for spec in specs:
+            stats = XbcFrontend(fe, config).run(make_trace(spec))
+            miss += stats.uop_miss_rate
+            bw += stats.delivery_bandwidth
+            fbw += stats.fetch_bandwidth
+            for key in ("promotions", "set_search_hits", "bank_conflict_deferrals"):
+                extra_sums[key] = extra_sums.get(key, 0.0) + stats.extra.get(key, 0)
+        count = len(specs)
+        rows.append(
+            AblationRow(
+                name=name,
+                miss_rate=miss / count,
+                bandwidth=bw / count,
+                fetch_bandwidth=fbw / count,
+                extras={k: v / count for k, v in extra_sums.items()},
+            )
+        )
+    return rows
+
+
+def format_ablations(rows: List[AblationRow]) -> str:
+    """Render all variants against the baseline."""
+    baseline = rows[0].miss_rate if rows else 0.0
+    table_rows = []
+    for row in rows:
+        delta = (
+            (row.miss_rate - baseline) / baseline * 100.0 if baseline else 0.0
+        )
+        table_rows.append(
+            [
+                row.name,
+                row.miss_rate * 100.0,
+                f"{delta:+.1f}",
+                row.bandwidth,
+                row.fetch_bandwidth,
+            ]
+        )
+    return format_table(
+        ["variant", "miss %", "Δmiss vs base %", "uops/cyc", "uops/fetch"],
+        table_rows,
+        title="XBC design-choice ablations (§3.3/§3.8/§3.9/§3.10)",
+    )

@@ -1,0 +1,111 @@
+"""The §4/§5 in-text claims, computed from the same sweeps as Figure 9.
+
+- **T2**: "the reduction in the number of misses is ~29% for all cache
+  sizes" — i.e. the XBC's relative miss reduction is roughly
+  size-independent.
+- **T3**: "In order to match the XBC hit rate, the TC should be
+  enlarged by more than 50%" — found here by locating, via the size
+  sweep (log-linear interpolation), the TC capacity whose miss rate
+  equals the XBC's at the reference budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.frontend.config import FrontendConfig
+from repro.harness.experiments.fig9 import Fig9Result, run_fig9
+from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.harness.runner import run_frontend
+
+
+@dataclass
+class ClaimsResult:
+    """Measured counterparts of the paper's in-text claims."""
+
+    fig9: Fig9Result = None  # type: ignore[assignment]
+    reference_size: int = 8192
+    #: per-size XBC miss reduction (T2)
+    reductions: List[float] = field(default_factory=list)
+    #: TC capacity (uops) needed to match the XBC at the reference size (T3)
+    tc_equivalent_size: float = 0.0
+
+    @property
+    def tc_enlargement(self) -> float:
+        """Fractional TC enlargement needed to match the XBC hit rate."""
+        if self.reference_size == 0:
+            return 0.0
+        return self.tc_equivalent_size / self.reference_size - 1.0
+
+    @property
+    def reduction_spread(self) -> float:
+        """Max-min spread of the per-size reduction (stability of T2)."""
+        if not self.reductions:
+            return 0.0
+        return max(self.reductions) - min(self.reductions)
+
+
+def _interpolate_size(
+    sizes: Sequence[int], misses: Sequence[float], target: float
+) -> float:
+    """Size at which the miss curve crosses *target* (log-linear)."""
+    for i in range(len(sizes) - 1):
+        hi, lo = misses[i], misses[i + 1]
+        if lo <= target <= hi:
+            if hi == lo:
+                return float(sizes[i])
+            frac = (math.log(max(hi, 1e-12)) - math.log(max(target, 1e-12))) / (
+                math.log(max(hi, 1e-12)) - math.log(max(lo, 1e-12))
+            )
+            return float(
+                sizes[i] * (sizes[i + 1] / sizes[i]) ** frac
+            )
+    # Target below the last point: extrapolate one octave conservatively.
+    if misses[-1] > target:
+        return float(sizes[-1] * 2)
+    return float(sizes[-1])
+
+
+def run_claims(
+    specs: Optional[List[TraceSpec]] = None,
+    sizes: Sequence[int] = (2048, 4096, 8192, 16384),
+    reference_size: int = 8192,
+    fe_config: Optional[FrontendConfig] = None,
+    fig9: Optional[Fig9Result] = None,
+) -> ClaimsResult:
+    """Evaluate T2 and T3 (reusing a Figure-9 sweep when provided)."""
+    specs = specs if specs is not None else default_registry()
+    if fig9 is None:
+        fig9 = run_fig9(specs, sizes, fe_config)
+    result = ClaimsResult(fig9=fig9, reference_size=reference_size)
+    result.reductions = [fig9.reduction(size) for size in fig9.sizes]
+
+    target = fig9.xbc_miss[reference_size]
+    tc_curve = [fig9.tc_miss[size] for size in fig9.sizes]
+    result.tc_equivalent_size = _interpolate_size(
+        fig9.sizes, tc_curve, target
+    )
+    return result
+
+
+def format_claims(result: ClaimsResult) -> str:
+    """Render T2/T3 with the paper's statements for comparison."""
+    lines = ["§4/§5 in-text claims"]
+    per_size = ", ".join(
+        f"{size}: {red*100:.1f}%"
+        for size, red in zip(result.fig9.sizes, result.reductions)
+    )
+    lines.append(
+        f"T2 miss reduction per size -> {per_size} "
+        f"(spread {result.reduction_spread*100:.1f} points; "
+        "paper: ~29% at every size)"
+    )
+    lines.append(
+        f"T3 TC capacity matching XBC@{result.reference_size}: "
+        f"{result.tc_equivalent_size:.0f} uops = "
+        f"+{result.tc_enlargement*100:.0f}% "
+        "(paper: more than +50%)"
+    )
+    return "\n".join(lines)

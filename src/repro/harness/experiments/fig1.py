@@ -1,0 +1,74 @@
+"""Figure 1 — length distribution of the four block definitions.
+
+Paper values (all ≤ 16 uops): basic block 7.7, XB 8.0, XB with
+promotion 10.0, dual XB 12.7 average uops (§3.1; §3.2 quotes 8.5 for
+the average XB including prefix extension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.tables import format_table
+from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.trace.blockstats import BlockLengthStats, compute_block_stats
+
+#: The averages the paper reports, for side-by-side printing.
+PAPER_MEANS: Dict[str, float] = {
+    "basic block": 7.7,
+    "XB": 8.0,
+    "XB w/ promotion": 10.0,
+    "dual XB": 12.7,
+}
+
+
+@dataclass
+class Fig1Result:
+    """Per-suite and overall block-length statistics."""
+
+    per_suite: Dict[str, BlockLengthStats] = field(default_factory=dict)
+    overall: BlockLengthStats = field(default_factory=BlockLengthStats)
+
+
+def run_fig1(specs: Optional[List[TraceSpec]] = None) -> Fig1Result:
+    """Compute the Figure-1 distributions over the registry traces."""
+    specs = specs if specs is not None else default_registry()
+    result = Fig1Result()
+    for spec in specs:
+        stats = compute_block_stats(make_trace(spec))
+        if spec.suite in result.per_suite:
+            result.per_suite[spec.suite] = result.per_suite[spec.suite].merged_with(stats)
+        else:
+            result.per_suite[spec.suite] = stats
+        result.overall = result.overall.merged_with(stats)
+    return result
+
+
+def format_fig1(result: Fig1Result, histograms: bool = False) -> str:
+    """Render mean lengths per suite plus the paper's values."""
+    series = list(PAPER_MEANS)
+    rows = []
+    for suite, stats in sorted(result.per_suite.items()):
+        means = stats.means()
+        rows.append([suite] + [means[s] for s in series])
+    overall = result.overall.means()
+    rows.append(["ALL"] + [overall[s] for s in series])
+    rows.append(["paper"] + [PAPER_MEANS[s] for s in series])
+    out = format_table(
+        ["suite"] + series,
+        rows,
+        title="Figure 1 — average block length (uops, quota 16)",
+    )
+    if histograms:
+        parts = [out, ""]
+        for name, hist in (
+            ("basic block", result.overall.basic_block),
+            ("XB", result.overall.xb),
+            ("XB w/ promotion", result.overall.xb_promoted),
+            ("dual XB", result.overall.dual_xb),
+        ):
+            parts.append(hist.render(label=f"-- {name} length distribution --"))
+            parts.append("")
+        out = "\n".join(parts)
+    return out

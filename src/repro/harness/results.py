@@ -1,0 +1,115 @@
+"""Result export: CSV serialization of the experiment series.
+
+Every experiment result can be flattened to ``(headers, rows)`` for
+machine consumption (plotting, regression tracking).  The CLI's
+``--csv`` option and the ``all`` command route through here.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.harness.experiments.ablations import AblationRow
+from repro.harness.experiments.claims import ClaimsResult
+from repro.harness.experiments.fig1 import Fig1Result
+from repro.harness.experiments.fig8 import Fig8Row
+from repro.harness.experiments.fig9 import Fig9Result
+from repro.harness.experiments.fig10 import Fig10Result
+
+Table = Tuple[List[str], List[List[object]]]
+
+
+def fig1_table(result: Fig1Result) -> Table:
+    """Flatten Figure-1 means per suite."""
+    headers = ["suite", "basic_block", "xb", "xb_promoted", "dual_xb"]
+    rows: List[List[object]] = []
+    for suite, stats in sorted(result.per_suite.items()):
+        means = stats.means()
+        rows.append([
+            suite,
+            means["basic block"],
+            means["XB"],
+            means["XB w/ promotion"],
+            means["dual XB"],
+        ])
+    overall = result.overall.means()
+    rows.append([
+        "ALL",
+        overall["basic block"],
+        overall["XB"],
+        overall["XB w/ promotion"],
+        overall["dual XB"],
+    ])
+    return headers, rows
+
+
+def fig8_table(rows_in: Sequence[Fig8Row]) -> Table:
+    """Flatten Figure-8 per-trace bandwidths."""
+    headers = ["trace", "suite", "tc_bandwidth", "xbc_bandwidth", "ratio"]
+    rows = [
+        [r.trace, r.suite, r.tc_bandwidth, r.xbc_bandwidth, r.ratio]
+        for r in rows_in
+    ]
+    return headers, rows
+
+
+def fig9_table(result: Fig9Result) -> Table:
+    """Flatten the Figure-9 size sweep."""
+    headers = ["total_uops", "tc_miss", "xbc_miss", "reduction"]
+    rows = [
+        [size, result.tc_miss[size], result.xbc_miss[size],
+         result.reduction(size)]
+        for size in result.sizes
+    ]
+    return headers, rows
+
+
+def fig10_table(result: Fig10Result) -> Table:
+    """Flatten the Figure-10 associativity sweep."""
+    headers = ["assoc", "tc_miss", "xbc_miss"]
+    rows = [
+        [assoc, result.tc_miss[assoc], result.xbc_miss[assoc]]
+        for assoc in result.assocs
+    ]
+    return headers, rows
+
+
+def claims_table(result: ClaimsResult) -> Table:
+    """Flatten the T2/T3 claim measurements."""
+    headers = ["metric", "value"]
+    rows: List[List[object]] = [
+        [f"reduction@{size}", reduction]
+        for size, reduction in zip(result.fig9.sizes, result.reductions)
+    ]
+    rows.append(["reduction_spread", result.reduction_spread])
+    rows.append(["tc_equivalent_size", result.tc_equivalent_size])
+    rows.append(["tc_enlargement", result.tc_enlargement])
+    return headers, rows
+
+
+def ablations_table(rows_in: Sequence[AblationRow]) -> Table:
+    """Flatten the ablation sweep."""
+    headers = ["variant", "miss_rate", "bandwidth", "fetch_bandwidth"]
+    rows = [
+        [r.name, r.miss_rate, r.bandwidth, r.fetch_bandwidth]
+        for r in rows_in
+    ]
+    return headers, rows
+
+
+def to_csv(table: Table) -> str:
+    """Render a ``(headers, rows)`` table as CSV text."""
+    headers, rows = table
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def write_csv(table: Table, path: str) -> None:
+    """Write a table to *path* as CSV."""
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(table))

@@ -1,0 +1,80 @@
+"""Frontend factory and run helpers shared by all experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bbtc.config import BbtcConfig
+from repro.bbtc.frontend import BbtcFrontend
+from repro.common.errors import ConfigError
+from repro.frontend.base import FrontendModel
+from repro.frontend.config import FrontendConfig
+from repro.frontend.decoded_cache import DcConfig, DecodedCacheFrontend
+from repro.frontend.ic_frontend import ICFrontend
+from repro.frontend.metrics import FrontendStats
+from repro.tc.config import TcConfig
+from repro.tc.frontend import TcFrontend
+from repro.trace.record import Trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+#: Frontend kinds the harness can build.
+FRONTEND_KINDS: Tuple[str, ...] = ("ic", "dc", "tc", "xbc", "bbtc")
+
+
+def make_frontend(
+    kind: str,
+    fe_config: Optional[FrontendConfig] = None,
+    total_uops: int = 8192,
+    assoc: int = 0,
+    xbc_config: Optional[XbcConfig] = None,
+    tc_config: Optional[TcConfig] = None,
+    bbtc_config: Optional[BbtcConfig] = None,
+    dc_config: Optional[DcConfig] = None,
+) -> FrontendModel:
+    """Build a frontend by name.
+
+    ``total_uops`` budgets the uop structure; ``assoc`` (when nonzero)
+    overrides associativity — ways-per-bank for the XBC, cache
+    associativity for the TC, matching how Figure 10 sweeps both.
+    Explicit structure configs take precedence over the shorthands.
+    """
+    fe = fe_config or FrontendConfig()
+    if kind == "ic":
+        return ICFrontend(fe)
+    if kind == "dc":
+        config = dc_config or DcConfig(total_uops=total_uops, assoc=assoc or 4)
+        return DecodedCacheFrontend(fe, config)
+    if kind == "tc":
+        config = tc_config or TcConfig(
+            total_uops=total_uops, assoc=assoc or 4
+        )
+        return TcFrontend(fe, config)
+    if kind == "xbc":
+        config = xbc_config or XbcConfig(
+            total_uops=total_uops, ways_per_bank=assoc or 2
+        )
+        return XbcFrontend(fe, config)
+    if kind == "bbtc":
+        config = bbtc_config or BbtcConfig(
+            total_uops=total_uops, assoc=assoc or 4
+        )
+        return BbtcFrontend(fe, config)
+    raise ConfigError(
+        f"unknown frontend kind {kind!r}; expected one of {FRONTEND_KINDS}"
+    )
+
+
+def run_frontend(
+    kind: str,
+    trace: Trace,
+    fe_config: Optional[FrontendConfig] = None,
+    total_uops: int = 8192,
+    assoc: int = 0,
+    **kwargs,
+) -> FrontendStats:
+    """Build-and-run convenience used by experiments and examples."""
+    frontend = make_frontend(
+        kind, fe_config, total_uops=total_uops, assoc=assoc, **kwargs
+    )
+    return frontend.run(trace)

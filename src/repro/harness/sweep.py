@@ -1,0 +1,125 @@
+"""Generic XBC parameter sweeps.
+
+The figure experiments pin the paper's configurations; this module is
+for exploring beyond them: take any set of :class:`XbcConfig` fields,
+a list of values for each, and run the full cross product over the
+registry.  Invalid geometry combinations (non-power-of-two set counts
+and the like) are reported as skipped rather than aborting the sweep.
+
+CLI: ``python -m repro sweep --param banks=2,4,8 --param ways_per_bank=1,2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.tables import format_table
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+
+@dataclass
+class SweepRow:
+    """Averaged metrics for one parameter combination."""
+
+    params: Dict[str, object]
+    valid: bool = True
+    reason: str = ""
+    miss_rate: float = 0.0
+    delivery_bandwidth: float = 0.0
+    fetch_bandwidth: float = 0.0
+
+    def label(self) -> str:
+        """Human-readable ``k=v`` rendering of the combination."""
+        return " ".join(f"{k}={v}" for k, v in self.params.items())
+
+
+def parse_param(text: str) -> Dict[str, List[object]]:
+    """Parse one ``name=v1,v2,...`` CLI fragment into a grid entry."""
+    if "=" not in text:
+        raise ConfigError(f"bad --param {text!r}; expected name=v1,v2")
+    name, _, values_text = text.partition("=")
+    values: List[object] = []
+    for token in values_text.split(","):
+        token = token.strip()
+        if token.lower() in ("true", "false"):
+            values.append(token.lower() == "true")
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                try:
+                    values.append(float(token))
+                except ValueError:
+                    values.append(token)
+    if not values:
+        raise ConfigError(f"--param {name} has no values")
+    return {name.strip(): values}
+
+
+def run_sweep(
+    grid: Dict[str, Sequence[object]],
+    specs: Optional[List[TraceSpec]] = None,
+    base: Optional[XbcConfig] = None,
+    fe_config: Optional[FrontendConfig] = None,
+) -> List[SweepRow]:
+    """Run the cross product of *grid* over the registry traces."""
+    specs = specs if specs is not None else default_registry()
+    base = base or XbcConfig()
+    fe = fe_config or FrontendConfig()
+    known = set(XbcConfig.__dataclass_fields__)
+    for name in grid:
+        if name not in known:
+            raise ConfigError(
+                f"unknown XbcConfig field {name!r}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
+
+    keys = sorted(grid)
+    rows: List[SweepRow] = []
+    for combo in itertools.product(*(grid[key] for key in keys)):
+        params = dict(zip(keys, combo))
+        row = SweepRow(params=params)
+        try:
+            config = replace(base, **params)
+            config.validate()
+        except (ConfigError, TypeError) as exc:
+            row.valid = False
+            row.reason = str(exc)
+            rows.append(row)
+            continue
+        miss = bw = fbw = 0.0
+        for spec in specs:
+            stats = XbcFrontend(fe, config).run(make_trace(spec))
+            miss += stats.uop_miss_rate
+            bw += stats.delivery_bandwidth
+            fbw += stats.fetch_bandwidth
+        count = len(specs)
+        row.miss_rate = miss / count
+        row.delivery_bandwidth = bw / count
+        row.fetch_bandwidth = fbw / count
+        rows.append(row)
+    return rows
+
+
+def format_sweep(rows: List[SweepRow]) -> str:
+    """Render the sweep as a table (invalid combos flagged)."""
+    table = []
+    for row in rows:
+        if row.valid:
+            table.append([
+                row.label(), row.miss_rate * 100,
+                row.delivery_bandwidth, row.fetch_bandwidth,
+            ])
+        else:
+            table.append([row.label(), "invalid", "-", "-"])
+    return format_table(
+        ["parameters", "miss %", "uops/cyc", "uops/fetch"],
+        table,
+        title="XBC parameter sweep",
+    )

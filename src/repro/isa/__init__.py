@@ -1,0 +1,27 @@
+"""Synthetic IA-32-like instruction set.
+
+The frontend structures in the paper never interpret instruction
+semantics; they care about instruction *addresses*, *byte lengths*,
+*branch kinds* and the number of *uops* each instruction decodes into.
+This package models exactly that surface: :class:`~repro.isa.instruction.Instruction`
+records, uop identities (:mod:`repro.isa.uop`), a :class:`~repro.isa.decoder.Decoder`
+and the :class:`~repro.isa.image.ProgramImage` address map.
+"""
+
+from repro.isa.instruction import Instruction, InstrKind
+from repro.isa.uop import Uop, uop_uid, uop_uid_ip, uop_uid_index, uops_of
+from repro.isa.decoder import Decoder, DecodedInstr
+from repro.isa.image import ProgramImage
+
+__all__ = [
+    "Instruction",
+    "InstrKind",
+    "Uop",
+    "uop_uid",
+    "uop_uid_ip",
+    "uop_uid_index",
+    "uops_of",
+    "Decoder",
+    "DecodedInstr",
+    "ProgramImage",
+]

@@ -1,0 +1,78 @@
+"""Instruction-to-uop decoder.
+
+Real IA-32 decode is the expensive, variable-latency stage the decoded
+caches of §2.2–2.3 exist to avoid.  Our synthetic decoder is
+functionally trivial — the uop count is a property of the instruction —
+but it is a real pipeline stage in the simulator: build-mode fetch pays
+its width limits and its latency, exactly the cost the XBC and TC skip
+while in delivery mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.instruction import Instruction
+from repro.isa.uop import uops_of
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """The decoder's output for one instruction."""
+
+    instr: Instruction
+    uops: List[int]  # packed uop uids, in program order
+
+    @property
+    def num_uops(self) -> int:
+        """Number of uops produced."""
+        return len(self.uops)
+
+
+class Decoder:
+    """Translates instructions into uop sequences.
+
+    Parameters
+    ----------
+    width:
+        Maximum instructions decoded per cycle (build-mode limit).
+    latency:
+        Pipeline depth in cycles between IC fetch and uop availability;
+        charged by the frontends when refilling after a re-steer.
+    """
+
+    def __init__(self, width: int = 4, latency: int = 3) -> None:
+        if width < 1:
+            raise ValueError(f"decoder width must be >= 1, got {width}")
+        if latency < 0:
+            raise ValueError(f"decoder latency must be >= 0, got {latency}")
+        self.width = width
+        self.latency = latency
+        self.decoded_instructions = 0
+        self.decoded_uops = 0
+
+    def decode(self, instr: Instruction) -> DecodedInstr:
+        """Decode a single instruction, updating throughput counters."""
+        uops = uops_of(instr.ip, instr.num_uops)
+        self.decoded_instructions += 1
+        self.decoded_uops += len(uops)
+        return DecodedInstr(instr=instr, uops=uops)
+
+    def decode_group(self, instrs: List[Instruction]) -> List[DecodedInstr]:
+        """Decode up to :attr:`width` instructions as one cycle's group.
+
+        Raises ``ValueError`` when the caller exceeds the decode width —
+        the frontends are responsible for honouring the limit, and a
+        violation means a frontend bug, not a workload property.
+        """
+        if len(instrs) > self.width:
+            raise ValueError(
+                f"decode group of {len(instrs)} exceeds width {self.width}"
+            )
+        return [self.decode(instr) for instr in instrs]
+
+    def reset_counters(self) -> None:
+        """Zero the throughput counters (between simulation runs)."""
+        self.decoded_instructions = 0
+        self.decoded_uops = 0

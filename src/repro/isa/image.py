@@ -1,0 +1,92 @@
+"""Program image: the static IP → instruction map.
+
+Both cache models and the trace executor resolve instruction addresses
+through a :class:`ProgramImage`.  It is the synthetic equivalent of the
+text segment: a dense, immutable address space of instructions laid out
+by the program generator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.isa.instruction import Instruction
+
+
+class ProgramImage:
+    """Immutable map from instruction address to instruction.
+
+    Instructions must be added in strictly increasing, non-overlapping
+    address order; :meth:`freeze` seals the image.
+    """
+
+    def __init__(self) -> None:
+        self._by_ip: Dict[int, Instruction] = {}
+        self._ips: List[int] = []
+        self._frozen = False
+        self._end_ip = 0
+
+    def add(self, instr: Instruction) -> None:
+        """Append an instruction at the current layout frontier."""
+        if self._frozen:
+            raise RuntimeError("cannot add instructions to a frozen image")
+        if instr.ip < self._end_ip:
+            raise ValueError(
+                f"instruction at {instr.ip:#x} overlaps previous layout "
+                f"(frontier {self._end_ip:#x})"
+            )
+        self._by_ip[instr.ip] = instr
+        self._ips.append(instr.ip)
+        self._end_ip = instr.ip + instr.size
+
+    def freeze(self) -> "ProgramImage":
+        """Seal the image; returns self for chaining."""
+        self._frozen = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._by_ip)
+
+    def __contains__(self, ip: int) -> bool:
+        return ip in self._by_ip
+
+    def __iter__(self) -> Iterator[Instruction]:
+        for ip in self._ips:
+            yield self._by_ip[ip]
+
+    def fetch(self, ip: int) -> Instruction:
+        """Instruction at exactly *ip*; raises ``KeyError`` when absent.
+
+        A ``KeyError`` here means control flow reached an address that
+        is not an instruction boundary — always a generator or simulator
+        bug, so it is allowed to propagate loudly.
+        """
+        return self._by_ip[ip]
+
+    def get(self, ip: int) -> Optional[Instruction]:
+        """Instruction at *ip* or ``None``."""
+        return self._by_ip.get(ip)
+
+    @property
+    def lowest_ip(self) -> int:
+        """Address of the first instruction."""
+        if not self._ips:
+            raise ValueError("empty program image")
+        return self._ips[0]
+
+    @property
+    def end_ip(self) -> int:
+        """One past the last instruction byte."""
+        return self._end_ip
+
+    @property
+    def total_bytes(self) -> int:
+        """Static code footprint in bytes."""
+        if not self._ips:
+            return 0
+        return self._end_ip - self._ips[0]
+
+    @property
+    def total_uops(self) -> int:
+        """Static code footprint in uops (the paper's capacity unit)."""
+        return sum(instr.num_uops for instr in self._by_ip.values())

@@ -1,0 +1,136 @@
+"""Instruction records and branch-kind taxonomy.
+
+The taxonomy mirrors the distinctions the XBC cares about (paper §3.1):
+
+- instructions that *never* end an extended block: plain ALU/memory ops
+  and **unconditional direct jumps** (single-target redirections);
+- instructions that end an XB because they can go to more than one
+  place: conditional branches, indirect jumps/calls and returns;
+- direct calls, which redirect to a single location but carry the
+  call/return linkage the XRSB tracks (§3.5), so they end XBs too.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class InstrKind(enum.Enum):
+    """Classification of an instruction for frontend purposes."""
+
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    COND_BRANCH = "cond_branch"
+    JUMP = "jump"  # unconditional direct jump
+    INDIRECT_JUMP = "indirect_jump"
+    CALL = "call"  # direct call
+    INDIRECT_CALL = "indirect_call"
+    RETURN = "return"
+
+    @property
+    def is_branch(self) -> bool:
+        """True for any control-transfer instruction."""
+        return self not in (InstrKind.ALU, InstrKind.LOAD, InstrKind.STORE)
+
+    @property
+    def is_conditional(self) -> bool:
+        """True only for conditional branches."""
+        return self is InstrKind.COND_BRANCH
+
+    @property
+    def is_indirect(self) -> bool:
+        """True for branches whose target comes from data, not the opcode."""
+        return self in (
+            InstrKind.INDIRECT_JUMP,
+            InstrKind.INDIRECT_CALL,
+            InstrKind.RETURN,
+        )
+
+    @property
+    def is_call(self) -> bool:
+        """True for direct and indirect calls."""
+        return self in (InstrKind.CALL, InstrKind.INDIRECT_CALL)
+
+    @property
+    def ends_basic_block(self) -> bool:
+        """True when the instruction terminates a classic basic block.
+
+        Any jump ends a basic block — this is the "basic block" series of
+        the paper's Figure 1.
+        """
+        return self.is_branch
+
+    @property
+    def ends_xb(self) -> bool:
+        """True when the instruction ends an extended block.
+
+        Unconditional direct jumps do *not* end XBs — that is the core
+        definitional difference between an XB and a basic block.
+        """
+        if self is InstrKind.JUMP:
+            return False
+        return self.is_branch
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction of the synthetic program.
+
+    Attributes
+    ----------
+    ip:
+        Byte address of the instruction.
+    size:
+        Encoded length in bytes (IA-32-like: 1..11 in our generator).
+    kind:
+        Branch classification, see :class:`InstrKind`.
+    num_uops:
+        How many uops the decoder produces for it (1..4).
+    target:
+        Statically-known target for direct branches/calls; ``None`` for
+        non-branches and indirect branches.
+    """
+
+    ip: int
+    size: int
+    kind: InstrKind
+    num_uops: int
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"instruction at {self.ip:#x} has size {self.size}")
+        if not 1 <= self.num_uops <= 4:
+            raise ValueError(
+                f"instruction at {self.ip:#x} has {self.num_uops} uops; "
+                "the decoder supports 1..4"
+            )
+        needs_target = self.kind in (
+            InstrKind.COND_BRANCH,
+            InstrKind.JUMP,
+            InstrKind.CALL,
+        )
+        if needs_target and self.target is None:
+            raise ValueError(f"{self.kind.value} at {self.ip:#x} lacks a target")
+
+    @property
+    def next_ip(self) -> int:
+        """Address of the sequentially following instruction."""
+        return self.ip + self.size
+
+    @property
+    def end_ip(self) -> int:
+        """Alias of :attr:`ip` — the identity the XBC indexes XBs by."""
+        return self.ip
+
+    def outcomes(self) -> Tuple[Optional[int], Optional[int]]:
+        """``(taken_target, fallthrough)`` addresses where applicable."""
+        fallthrough = None if self.kind in (
+            InstrKind.JUMP,
+            InstrKind.INDIRECT_JUMP,
+            InstrKind.RETURN,
+        ) else self.next_ip
+        return self.target, fallthrough

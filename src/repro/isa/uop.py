@@ -1,0 +1,64 @@
+"""Uop identity model.
+
+A uop is identified by the instruction it decodes from plus its index
+within that instruction's decode sequence.  The simulator packs this
+identity into a single integer *uid* (``ip * 16 + index``) because the
+cache models store and compare millions of uops and a plain ``int`` is
+the cheapest hashable identity Python offers.  The richer
+:class:`Uop` dataclass exists for API clarity in tests and examples.
+
+An IA-32 instruction decodes into at most a handful of uops; we reserve
+4 bits of index space, comfortably above the 4-uop ceiling the decoder
+enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: Number of index bits packed into a uid (16 slots per instruction).
+UID_INDEX_BITS = 4
+UID_INDEX_MASK = (1 << UID_INDEX_BITS) - 1
+
+
+def uop_uid(ip: int, index: int) -> int:
+    """Pack an ``(instruction ip, uop index)`` pair into one integer."""
+    return (ip << UID_INDEX_BITS) | index
+
+
+def uop_uid_ip(uid: int) -> int:
+    """Instruction IP encoded in *uid*."""
+    return uid >> UID_INDEX_BITS
+
+
+def uop_uid_index(uid: int) -> int:
+    """Uop index within its instruction encoded in *uid*."""
+    return uid & UID_INDEX_MASK
+
+
+def uops_of(ip: int, count: int) -> List[int]:
+    """Uids of the *count* uops of the instruction at *ip*, in order."""
+    base = ip << UID_INDEX_BITS
+    return [base | index for index in range(count)]
+
+
+@dataclass(frozen=True)
+class Uop:
+    """A decoded micro-operation, identified by parent IP and index."""
+
+    ip: int
+    index: int
+
+    @property
+    def uid(self) -> int:
+        """Packed integer identity (see :func:`uop_uid`)."""
+        return uop_uid(self.ip, self.index)
+
+    @classmethod
+    def from_uid(cls, uid: int) -> "Uop":
+        """Rebuild the dataclass form from a packed uid."""
+        return cls(ip=uop_uid_ip(uid), index=uop_uid_index(uid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Uop(ip={self.ip:#x}, index={self.index})"

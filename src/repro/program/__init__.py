@@ -1,0 +1,39 @@
+"""Synthetic program substrate.
+
+The paper evaluates on 21 proprietary x86 traces (SPECint95, SYSmark32,
+games).  We replace those with synthetic programs: control-flow graphs
+generated from per-suite statistical profiles, laid out into a
+:class:`~repro.isa.image.ProgramImage`, with a branch-*behaviour* model
+attached to every conditional/indirect branch so that a trace-driven
+executor can produce dynamic instruction streams with realistic
+block-length, bias, and working-set statistics.
+"""
+
+from repro.program.cfg import BasicBlockSpec, FunctionSpec, Program, LayoutBlock, TerminatorKind
+from repro.program.behavior import (
+    BranchBehavior,
+    BiasedBehavior,
+    LoopBehavior,
+    PatternBehavior,
+    IndirectBehavior,
+)
+from repro.program.profiles import WorkloadProfile, profile_for_suite, SUITE_NAMES
+from repro.program.generator import ProgramGenerator, generate_program
+
+__all__ = [
+    "BasicBlockSpec",
+    "FunctionSpec",
+    "Program",
+    "LayoutBlock",
+    "TerminatorKind",
+    "BranchBehavior",
+    "BiasedBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "IndirectBehavior",
+    "WorkloadProfile",
+    "profile_for_suite",
+    "SUITE_NAMES",
+    "ProgramGenerator",
+    "generate_program",
+]

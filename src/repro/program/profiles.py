@@ -1,0 +1,259 @@
+"""Workload profiles for the three trace suites of the paper.
+
+The paper evaluates 21 traces in three suites — SPECint95 (8), SYSmark32
+for Windows 95 (8), and popular games (5).  We cannot ship those
+proprietary traces, so each suite becomes a statistical *profile* that
+the program generator samples.  The tunables were calibrated against the
+statistics the paper itself reports (Figure 1 and §3.1/§3.2):
+
+- average basic block     ≈ 7.7 uops,
+- average extended block  ≈ 8.0 uops (8.5 quoted in §3.2),
+- average XB w/ promotion ≈ 10.0 uops,
+- average dual XB         ≈ 12.7 uops,
+
+plus the qualitative suite characters the frontend literature records:
+SPECint is loop-regular and predictable, SYSmark (Win95 office/OS mix)
+has a large flat code footprint with frequent calls and indirect
+dispatch, and games sit in between with hot numeric loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigError
+
+#: Canonical suite names, in the order the paper lists them.
+SUITE_NAMES: Tuple[str, str, str] = ("specint", "sysmark", "games")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """All tunables of the synthetic program generator.
+
+    Every distribution the generator draws from is parameterised here so
+    suites (and tests) can shape programs without touching generator
+    code.
+    """
+
+    name: str = "default"
+
+    # -- program shape -------------------------------------------------------
+    num_functions: int = 60
+    mean_blocks_per_function: float = 14.0
+    min_blocks_per_function: int = 3
+    max_blocks_per_function: int = 48
+    max_call_depth: int = 6
+    mean_callees_per_function: float = 2.5
+    callee_popularity_skew: float = 1.1
+
+    # -- block shape -----------------------------------------------------------
+    mean_body_instrs: float = 4.6
+    max_body_instrs: int = 20
+    #: distribution of uops per non-branch instruction: (uops, weight)
+    uops_per_instr: Tuple[Tuple[int, float], ...] = (
+        (1, 0.70),
+        (2, 0.21),
+        (3, 0.06),
+        (4, 0.03),
+    )
+
+    # -- terminator mix (drawn for every non-final block) ----------------------
+    p_cond: float = 0.76
+    p_jump: float = 0.08
+    p_call: float = 0.12
+    p_indirect: float = 0.03
+    p_indirect_call: float = 0.01
+
+    # -- loop structure ---------------------------------------------------------
+    #: mean blocks between consecutive loops on a function's spine
+    mean_loop_gap: float = 3.0
+    #: mean loop-body length in blocks (excluding the backedge block)
+    mean_loop_body: float = 3.0
+    #: probability a loop of >=3 body blocks contains one nested inner loop
+    p_nested_loop: float = 0.25
+    #: probability an in-loop conditional is a monotonic "break" escape
+    p_loop_escape: float = 0.15
+    #: per-iteration probability that an escape branch actually fires
+    escape_rate: float = 0.01
+    mean_loop_trip: float = 9.0
+    #: cap on any single static loop's mean trip count
+    max_mean_trip: int = 48
+    #: mixture over non-loop conditional behaviours:
+    #: (kind, weight) where kind in {monotonic, biased, pattern, random}
+    cond_mixture: Tuple[Tuple[str, float], ...] = (
+        ("monotonic", 0.40),
+        ("biased", 0.38),
+        ("pattern", 0.12),
+        ("random", 0.10),
+    )
+    monotonic_bias: float = 0.995  # taken prob (or 1-p) for monotonic branches
+    biased_range: Tuple[float, float] = (0.80, 0.97)
+    pattern_max_period: int = 6
+
+    # -- indirect branches -------------------------------------------------------
+    mean_indirect_targets: float = 4.0
+    max_indirect_targets: int = 10
+    indirect_skew: float = 1.2
+
+    # -- jump shaping ----------------------------------------------------------
+    max_forward_jump_blocks: int = 6  # bound on jump distance (limits dead code)
+    max_backedge_span: int = 10       # bound on loop nesting distance
+    #: probability an unconditional jump targets an existing join point
+    #: (an if/else diamond re-converging) — the control-flow shape that
+    #: produces same-suffix/different-prefix XBs (§3.3 case 3).
+    p_join_jump: float = 0.6
+    #: probability an if/else's then-arm ends with a jump over the else
+    #: arm to a merge block (a full diamond).
+    p_diamond: float = 0.35
+    #: probability a switch's case blocks all jump to a common merge
+    #: block ("break"), giving the same suffix many different prefixes.
+    p_switch_merge: float = 0.6
+
+    # -- layout ------------------------------------------------------------------
+    #: mean random gap between functions (bytes).  Real binaries scatter
+    #: hot code across a large address window (linkers, DLLs, padding);
+    #: Poisson-like spacing recreates the set-index imbalance that makes
+    #: associativity matter (Figure 10).
+    mean_function_gap_bytes: float = 1200.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` for out-of-range tunables."""
+        if self.num_functions < 2:
+            raise ConfigError("need at least 2 functions (main + one callee)")
+        if self.min_blocks_per_function < 2:
+            raise ConfigError("functions need >= 2 blocks (body + ret)")
+        if self.max_blocks_per_function < self.min_blocks_per_function:
+            raise ConfigError("max_blocks_per_function < min_blocks_per_function")
+        if self.max_call_depth < 1:
+            raise ConfigError("max_call_depth must be >= 1")
+        term_mix = (
+            self.p_cond + self.p_jump + self.p_call
+            + self.p_indirect + self.p_indirect_call
+        )
+        if abs(term_mix - 1.0) > 1e-6:
+            raise ConfigError(f"terminator mix sums to {term_mix}, expected 1.0")
+        if self.mean_loop_trip < 1.0:
+            raise ConfigError("mean_loop_trip must be >= 1")
+        if self.mean_loop_body < 1.0:
+            raise ConfigError("mean_loop_body must be >= 1")
+        if not 0.0 <= self.p_nested_loop <= 1.0:
+            raise ConfigError("p_nested_loop out of range")
+        if not 0.0 <= self.p_loop_escape <= 1.0:
+            raise ConfigError("p_loop_escape out of range")
+        if not 0.0 < self.escape_rate < 0.5:
+            raise ConfigError("escape_rate must be in (0, 0.5)")
+        weights = sum(w for _, w in self.cond_mixture)
+        if abs(weights - 1.0) > 1e-6:
+            raise ConfigError(f"cond mixture sums to {weights}, expected 1.0")
+        if not 0.5 <= self.monotonic_bias < 1.0:
+            raise ConfigError("monotonic_bias must be in [0.5, 1)")
+        lo, hi = self.biased_range
+        if not 0.0 < lo <= hi < 1.0:
+            raise ConfigError("biased_range must satisfy 0 < lo <= hi < 1")
+
+    def scaled(self, static_uops_target: int) -> "WorkloadProfile":
+        """Return a copy whose function count targets a static footprint.
+
+        The expected uops per block is roughly
+        ``mean_body_instrs * E[uops/instr] + 1`` (terminator), so the
+        function count is solved from the target and the per-function
+        block mean.  This is how trace registries dial working-set size
+        against cache budget.
+        """
+        mean_uops_per_instr = sum(u * w for u, w in self.uops_per_instr)
+        uops_per_block = self.mean_body_instrs * mean_uops_per_instr + 1.3
+        blocks_needed = static_uops_target / uops_per_block
+        functions = max(4, round(blocks_needed / self.mean_blocks_per_function))
+        return replace(self, num_functions=functions)
+
+
+#: Per-suite profile presets.
+_PROFILES: Dict[str, WorkloadProfile] = {
+    # SPECint95: regular loops, predictable branches, moderate footprint.
+    "specint": WorkloadProfile(
+        name="specint",
+        num_functions=56,
+        mean_blocks_per_function=14.0,
+        mean_body_instrs=5.7,
+        p_cond=0.78,
+        p_jump=0.07,
+        p_call=0.11,
+        p_indirect=0.03,
+        p_indirect_call=0.01,
+        mean_loop_gap=2.5,
+        mean_loop_body=3.0,
+        p_nested_loop=0.30,
+        mean_loop_trip=9.0,
+        cond_mixture=(
+            ("monotonic", 0.46),
+            ("biased", 0.38),
+            ("pattern", 0.10),
+            ("random", 0.06),
+        ),
+        max_call_depth=4,
+        mean_function_gap_bytes=1100.0,
+    ),
+    # SYSmark32 / Win95: big flat footprint, short blocks, call- and
+    # indirect-heavy (COM dispatch, DLL thunks), less predictable.
+    "sysmark": WorkloadProfile(
+        name="sysmark",
+        num_functions=110,
+        mean_blocks_per_function=11.0,
+        mean_body_instrs=5.0,
+        p_cond=0.72,
+        p_jump=0.09,
+        p_call=0.13,
+        p_indirect=0.04,
+        p_indirect_call=0.02,
+        mean_loop_gap=4.5,
+        mean_loop_body=2.5,
+        p_nested_loop=0.15,
+        mean_loop_trip=5.0,
+        cond_mixture=(
+            ("monotonic", 0.36),
+            ("biased", 0.40),
+            ("pattern", 0.12),
+            ("random", 0.12),
+        ),
+        mean_indirect_targets=5.0,
+        max_call_depth=5,
+        mean_function_gap_bytes=2000.0,
+    ),
+    # Games: hot numeric inner loops, long blocks, strong bias, small
+    # resident footprint.
+    "games": WorkloadProfile(
+        name="games",
+        num_functions=36,
+        mean_blocks_per_function=12.0,
+        mean_body_instrs=6.0,
+        p_cond=0.77,
+        p_jump=0.07,
+        p_call=0.12,
+        p_indirect=0.03,
+        p_indirect_call=0.01,
+        mean_loop_gap=1.8,
+        mean_loop_body=3.5,
+        p_nested_loop=0.40,
+        mean_loop_trip=13.0,
+        cond_mixture=(
+            ("monotonic", 0.52),
+            ("biased", 0.35),
+            ("pattern", 0.09),
+            ("random", 0.04),
+        ),
+        max_call_depth=4,
+        mean_function_gap_bytes=700.0,
+    ),
+}
+
+
+def profile_for_suite(suite: str) -> WorkloadProfile:
+    """The preset profile of a suite; raises :class:`ConfigError` if unknown."""
+    try:
+        return _PROFILES[suite]
+    except KeyError:
+        raise ConfigError(
+            f"unknown suite {suite!r}; expected one of {', '.join(SUITE_NAMES)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""Trace Cache frontend — the paper's main comparator (§2.3, §4).
+
+The model follows the academic TC the paper simulates against
+[Rote96, Frie97]: a 4-way set-associative cache where each line holds a
+single trace of up to 16 uops with at most 3 conditional branches,
+indexed and tagged by the trace's *starting* IP (single-entry,
+multiple-exit, no path associativity), filled during build mode and
+consumed in delivery mode with up to three gshare predictions per
+cycle.
+"""
+
+from repro.tc.config import TcConfig
+from repro.tc.trace_line import TraceLine, TraceEntry
+from repro.tc.cache import TraceCache
+from repro.tc.fill import TcFillUnit
+from repro.tc.frontend import TcFrontend
+
+__all__ = [
+    "TcConfig",
+    "TraceLine",
+    "TraceEntry",
+    "TraceCache",
+    "TcFillUnit",
+    "TcFrontend",
+]

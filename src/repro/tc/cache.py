@@ -1,0 +1,160 @@
+"""The trace-cache storage array.
+
+Set-associative, LRU, tagged by trace starting IP.  There is **no path
+associativity** (§2.3): the lookup can return at most one line per
+start IP, so building a different path from the same start replaces the
+existing line — the thrashing behaviour the paper attributes to the
+academic TC model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.common.bitutils import log2_exact
+from repro.tc.config import TcConfig
+from repro.tc.trace_line import TraceLine
+
+
+class _TcSet:
+    __slots__ = ("lines", "stamps")
+
+    def __init__(self) -> None:
+        # key: start_ip, or (start_ip, path signature) with path
+        # associativity enabled
+        self.lines: Dict[object, TraceLine] = {}
+        self.stamps: Dict[object, int] = {}
+
+
+class TraceCache:
+    """Data + tag array of the trace cache."""
+
+    def __init__(self, config: TcConfig) -> None:
+        config.validate()
+        self.config = config
+        self.num_sets = config.num_sets
+        log2_exact(self.num_sets)
+        self._set_mask = self.num_sets - 1
+        self._sets: List[_TcSet] = [_TcSet() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.lookups = 0
+        self.hits = 0
+        self.inserts = 0
+        self.replacements = 0
+        self.same_path_refreshes = 0
+
+    def _set_for(self, start_ip: int) -> _TcSet:
+        return self._sets[(start_ip >> 1) & self._set_mask]
+
+    def lookup(self, start_ip: int) -> Optional[TraceLine]:
+        """Line starting at *start_ip*, or ``None``; hit updates LRU.
+
+        With path associativity, returns the most recent same-start
+        line; use :meth:`lookup_all` to let the predictor choose.
+        """
+        candidates = self.lookup_all(start_ip)
+        return candidates[0] if candidates else None
+
+    def lookup_all(self, start_ip: int) -> List[TraceLine]:
+        """All lines starting at *start_ip*, most recently used first."""
+        self.lookups += 1
+        tc_set = self._set_for(start_ip)
+        if not self.config.path_associativity:
+            line = tc_set.lines.get(start_ip)
+            found = [line] if line is not None else []
+        else:
+            keyed = [
+                (tc_set.stamps[key], line)
+                for key, line in tc_set.lines.items()
+                if line.start_ip == start_ip
+            ]
+            keyed.sort(reverse=True, key=lambda pair: pair[0])
+            found = [line for _stamp, line in keyed]
+        if found:
+            self.hits += 1
+            self._clock += 1
+            tc_set.stamps[self._key_for(found[0])] = self._clock
+        return found
+
+    def _key_for(self, line: TraceLine) -> object:
+        if self.config.path_associativity:
+            return (line.start_ip, line.path_signature())
+        return line.start_ip
+
+    def touch(self, line: TraceLine) -> None:
+        """LRU-refresh a specific line (after predictor selection)."""
+        tc_set = self._set_for(line.start_ip)
+        key = self._key_for(line)
+        if key in tc_set.lines:
+            self._clock += 1
+            tc_set.stamps[key] = self._clock
+
+    def contains(self, start_ip: int) -> bool:
+        """Presence probe without LRU side effects."""
+        tc_set = self._set_for(start_ip)
+        if not self.config.path_associativity:
+            return start_ip in tc_set.lines
+        return any(
+            line.start_ip == start_ip for line in tc_set.lines.values()
+        )
+
+    def insert(self, line: TraceLine) -> None:
+        """Install a built trace.
+
+        An identical line (same path) only refreshes LRU.  Without path
+        associativity a same-start different-path line is overwritten in
+        place; with it ([Jaco97]), the new path takes its own way and
+        plain LRU arbitrates the set.
+        """
+        tc_set = self._set_for(line.start_ip)
+        self._clock += 1
+        key = self._key_for(line)
+        existing = tc_set.lines.get(key)
+        if existing is not None:
+            if existing.same_path_as(line):
+                self.same_path_refreshes += 1
+            else:
+                self.replacements += 1
+                tc_set.lines[key] = line
+            tc_set.stamps[key] = self._clock
+            return
+        if len(tc_set.lines) >= self.config.assoc:
+            victim = min(tc_set.stamps, key=tc_set.stamps.get)
+            del tc_set.lines[victim]
+            del tc_set.stamps[victim]
+            self.replacements += 1
+        tc_set.lines[key] = line
+        tc_set.stamps[key] = self._clock
+        self.inserts += 1
+
+    # ------------------------------------------------------------------
+    # audits (used by tests and the redundancy analysis)
+    # ------------------------------------------------------------------
+
+    def resident_lines(self) -> List[TraceLine]:
+        """All lines currently stored."""
+        lines: List[TraceLine] = []
+        for tc_set in self._sets:
+            lines.extend(tc_set.lines.values())
+        return lines
+
+    def stored_uops(self) -> int:
+        """Total uops currently resident (fragmentation audit)."""
+        return sum(line.total_uops for line in self.resident_lines())
+
+    def redundancy(self) -> float:
+        """Average number of copies of each resident uop (>= 1.0).
+
+        The paper defines instruction redundancy as the average number
+        of times each uop appears in the TC; this audit computes it over
+        the current contents.
+        """
+        copies: Dict[int, int] = {}
+        for line in self.resident_lines():
+            for entry in line.entries:
+                for index in range(entry.instr.num_uops):
+                    key = (entry.instr.ip << 4) | index
+                    copies[key] = copies.get(key, 0) + 1
+        if not copies:
+            return 1.0
+        return sum(copies.values()) / len(copies)

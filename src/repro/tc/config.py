@@ -1,0 +1,51 @@
+"""Trace-cache configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.bitutils import log2_exact
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TcConfig:
+    """Geometry and policy of the trace cache.
+
+    ``total_uops`` is the paper's capacity unit: the number of uop slots
+    in the data array (sets × assoc × line_uops).  The §4 baseline is a
+    4-way cache with 16-uop lines and at most 3 conditional branches
+    per trace.
+    """
+
+    total_uops: int = 8192
+    assoc: int = 4
+    line_uops: int = 16
+    max_cond_branches: int = 3
+    #: [Jaco97]-style path associativity: several traces with the same
+    #: start IP may coexist (selected by predicted path).  The §4
+    #: baseline the paper simulates has this OFF — same-start traces
+    #: replace each other.
+    path_associativity: bool = False
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by the uop budget."""
+        return self.total_uops // (self.line_uops * self.assoc)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` for inconsistent geometry."""
+        if self.assoc < 1:
+            raise ConfigError("assoc must be >= 1")
+        if self.line_uops < 4:
+            raise ConfigError("line_uops must be >= 4")
+        if self.max_cond_branches < 1:
+            raise ConfigError("max_cond_branches must be >= 1")
+        if self.total_uops % (self.line_uops * self.assoc):
+            raise ConfigError(
+                "total_uops must be divisible by line_uops * assoc"
+            )
+        try:
+            log2_exact(self.num_sets)
+        except ValueError as exc:
+            raise ConfigError(f"num_sets must be a power of two: {exc}") from exc

@@ -1,0 +1,96 @@
+"""Trace-cache fill unit.
+
+Accumulates the uops flowing past during build mode into trace lines.
+End conditions (§2.3 / [Rote96]): the 16-uop line quota (instructions
+are atomic — one that does not fit starts the next trace), the third
+conditional branch, and instructions with multiple targets that cannot
+be embedded mid-trace (indirect jumps/calls and returns).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.instruction import InstrKind
+from repro.tc.config import TcConfig
+from repro.tc.trace_line import TraceEntry, TraceLine
+from repro.trace.record import DynInstr
+
+#: Instruction kinds that terminate a trace when appended.
+_TRACE_ENDERS = (
+    InstrKind.INDIRECT_JUMP,
+    InstrKind.INDIRECT_CALL,
+    InstrKind.RETURN,
+)
+
+
+class TcFillUnit:
+    """Builds trace lines from the dynamic instruction stream."""
+
+    def __init__(self, config: TcConfig) -> None:
+        self.config = config
+        self._pending: List[TraceEntry] = []
+        self._pending_uops = 0
+        self._pending_conds = 0
+        self.completed_traces = 0
+
+    @property
+    def pending_instructions(self) -> int:
+        """Instructions buffered toward the next trace."""
+        return len(self._pending)
+
+    def abandon(self) -> None:
+        """Drop the partially built trace (on re-steer into delivery)."""
+        self._pending.clear()
+        self._pending_uops = 0
+        self._pending_conds = 0
+
+    def feed(self, record: DynInstr) -> List[TraceLine]:
+        """Add one executed instruction; returns completed lines.
+
+        Usually zero or one line completes; two complete when a quota
+        cut and an end condition land on the same instruction (a
+        many-uop indirect branch that does not fit the current line).
+        """
+        config = self.config
+        instr = record.instr
+
+        completed: List[TraceLine] = []
+        if (
+            self._pending
+            and self._pending_uops + instr.num_uops > config.line_uops
+        ):
+            # Quota cut: the instruction starts the next trace.
+            line = self._finalize()
+            if line is not None:
+                completed.append(line)
+
+        self._pending.append(TraceEntry(instr=instr, taken=record.taken))
+        self._pending_uops += instr.num_uops
+        if instr.kind is InstrKind.COND_BRANCH:
+            self._pending_conds += 1
+
+        ends = (
+            instr.kind in _TRACE_ENDERS
+            or self._pending_uops >= config.line_uops
+            or self._pending_conds >= config.max_cond_branches
+        )
+        if ends:
+            line = self._finalize()
+            if line is not None:
+                completed.append(line)
+        return completed
+
+    def flush(self) -> Optional[TraceLine]:
+        """Complete the pending trace as-is (end of stream / analyses)."""
+        return self._finalize()
+
+    def _finalize(self) -> Optional[TraceLine]:
+        if not self._pending:
+            return None
+        line = TraceLine(self._pending)
+        self._pending = []
+        self._pending_uops = 0
+        self._pending_conds = 0
+        self.completed_traces += 1
+        return line

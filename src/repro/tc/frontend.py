@@ -1,0 +1,216 @@
+"""Trace-cache frontend: build/delivery mode state machine.
+
+Delivery mode looks the next fetch IP up in the trace cache and
+consumes the stored trace against the actual path: uops are delivered
+up to the first point where either the recorded path or the predicted
+path diverges from the actual one (partial hits, as in [Frie97]).
+Build mode runs the shared IC/BTB/decode engine and feeds the fill
+unit; once a trace completes and the next fetch IP hits in the cache,
+the frontend switches back to delivery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.frontend.base import FrontendModel, UopFlow
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.tc.cache import TraceCache
+from repro.tc.config import TcConfig
+from repro.tc.fill import TcFillUnit
+from repro.tc.trace_line import TraceLine
+from repro.trace.record import DynInstr, Trace
+
+
+class TcFrontend(FrontendModel):
+    """The paper's §4 trace-cache configuration."""
+
+    name = "tc"
+
+    def __init__(
+        self,
+        config: FrontendConfig = FrontendConfig(),
+        tc_config: TcConfig = TcConfig(),
+    ) -> None:
+        super().__init__(config)
+        tc_config.validate()
+        self.tc_config = tc_config
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the trace through the trace-cache frontend."""
+        config = self.config
+        stats = FrontendStats(frontend=self.name, trace_name=trace.name)
+        flow = UopFlow(config, stats)
+
+        gshare = GsharePredictor(config.gshare_history_bits, config.gshare_entries)
+        rsb: ReturnStackBuffer = ReturnStackBuffer(config.rsb_depth)
+        indirect: IndirectPredictor = IndirectPredictor(
+            config.indirect_entries, config.indirect_history_bits
+        )
+        engine = BuildEngine(
+            config=config,
+            stats=stats,
+            icache=InstructionCache(
+                config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+            ),
+            cond_predictor=gshare,
+            btb=BranchTargetBuffer(config.btb_entries, config.btb_assoc),
+            rsb=rsb,
+            indirect=indirect,
+        )
+        cache = TraceCache(self.tc_config)
+        fill = TcFillUnit(self.tc_config)
+
+        records = trace.records
+        total = len(records)
+        pos = 0
+        delivery = False
+        max_build_uops = 4 * config.decode_width
+
+        while pos < total:
+            stats.cycles += 1
+            flow.drain()
+
+            if delivery:
+                stats.delivery_cycles += 1
+                if not flow.can_accept(self.tc_config.line_uops):
+                    continue
+                stats.structure_lookups += 1
+                line = self._select_line(
+                    cache, cache.lookup_all(records[pos].ip), gshare
+                )
+                if line is None:
+                    delivery = False
+                    stats.switches_to_build += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+                    continue
+                stats.structure_hits += 1
+                stats.structure_fetch_cycles += 1
+                uops, pos = self._consume_line(
+                    line, records, pos, stats, gshare, rsb, indirect
+                )
+                stats.uops_from_structure += uops
+                flow.push(uops)
+            else:
+                stats.build_cycles += 1
+                if not flow.can_accept(max_build_uops):
+                    continue
+                pos, cycle = engine.fetch_cycle(records, pos)
+                stats.uops_from_ic += cycle.uops
+                flow.push(cycle.uops)
+                for cause, cycles in cycle.penalties.items():
+                    stats.add_penalty(cause, cycles)
+                completed = False
+                for record in cycle.records:
+                    for line in fill.feed(record):
+                        cache.insert(line)
+                        stats.blocks_built += 1
+                        completed = True
+                if completed and pos < total and cache.contains(records[pos].ip):
+                    delivery = True
+                    fill.abandon()
+                    stats.switches_to_delivery += 1
+                    stats.add_penalty("mode_switch", config.mode_switch_penalty)
+
+        flow.drain_all()
+        stats.extra["tc_redundancy_x1000"] = int(cache.redundancy() * 1000)
+        stats.extra["tc_resident_uops"] = cache.stored_uops()
+        stats.verify_conservation(trace.total_uops)
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _select_line(self, cache, candidates, gshare):
+        """Pick among same-start traces by predicted path ([Jaco97]).
+
+        Without path associativity there is at most one candidate.  With
+        it, the line whose embedded directions the predictor agrees with
+        longest wins (predictions are peeked, not consumed — consumption
+        happens when the line is walked against the actual path).
+        """
+        if len(candidates) <= 1:
+            return candidates[0] if candidates else None
+        best = None
+        best_score = -1
+        for line in candidates:
+            score = 0
+            for entry in line.entries:
+                if entry.instr.kind is InstrKind.COND_BRANCH:
+                    if gshare.predict(entry.instr.ip) != entry.taken:
+                        break
+                    score += 1
+            if score > best_score:
+                best = line
+                best_score = score
+        cache.touch(best)
+        return best
+
+    def _consume_line(
+        self,
+        line: TraceLine,
+        records: List[DynInstr],
+        pos: int,
+        stats: FrontendStats,
+        gshare: GsharePredictor,
+        rsb: ReturnStackBuffer,
+        indirect: IndirectPredictor,
+    ) -> Tuple[int, int]:
+        """Deliver the line against the actual path.
+
+        Returns ``(correct-path uops delivered, new trace position)``.
+        Delivery stops at the first conditional branch where the
+        recorded path or the prediction leaves the actual path.
+        """
+        config = self.config
+        total = len(records)
+        uops = 0
+        consumed = 0
+        for entry in line.entries:
+            index = pos + consumed
+            if index >= total:
+                break
+            record = records[index]
+            if record.ip != entry.instr.ip:
+                break  # stale line contents relative to the actual path
+            consumed += 1
+            uops += entry.instr.num_uops
+            kind = entry.instr.kind
+
+            if kind is InstrKind.COND_BRANCH:
+                stats.cond_predictions += 1
+                correct = gshare.update(record.ip, record.taken)
+                if not correct:
+                    stats.cond_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+                    break
+                if record.taken != entry.taken:
+                    break  # partial hit: recorded path leaves the actual path
+            elif kind is InstrKind.CALL:
+                rsb.push(entry.instr.next_ip)
+            elif kind is InstrKind.INDIRECT_CALL:
+                rsb.push(entry.instr.next_ip)
+                stats.indirect_predictions += 1
+                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                    stats.indirect_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+            elif kind is InstrKind.INDIRECT_JUMP:
+                stats.indirect_predictions += 1
+                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                    stats.indirect_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+            elif kind is InstrKind.RETURN:
+                stats.return_predictions += 1
+                if rsb.pop() != record.next_ip:
+                    stats.return_mispredicts += 1
+                    stats.add_penalty("mispredict", config.mispredict_penalty)
+        return uops, pos + consumed

@@ -1,0 +1,61 @@
+"""Trace-line data structure.
+
+A trace is the dynamic path recorded at build time: an ordered list of
+(instruction, taken) entries.  The embedded directions are what the
+delivery-mode predictor is compared against, and what makes the same
+static instruction appear in many lines — the redundancy the XBC
+removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.isa.instruction import Instruction, InstrKind
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One instruction inside a trace with its recorded direction."""
+
+    instr: Instruction
+    taken: bool
+
+
+class TraceLine:
+    """An immutable built trace."""
+
+    def __init__(self, entries: List[TraceEntry]) -> None:
+        if not entries:
+            raise ValueError("a trace line needs at least one instruction")
+        self.entries: Tuple[TraceEntry, ...] = tuple(entries)
+        self.start_ip = entries[0].instr.ip
+        self.total_uops = sum(e.instr.num_uops for e in entries)
+        self.num_cond_branches = sum(
+            1 for e in entries if e.instr.kind is InstrKind.COND_BRANCH
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def path_signature(self) -> Tuple[Tuple[int, bool], ...]:
+        """Identity of the recorded path (for duplicate detection)."""
+        return tuple((e.instr.ip, e.taken) for e in self.entries)
+
+    def same_path_as(self, other: "TraceLine") -> bool:
+        """True when both lines record the identical instruction path."""
+        return self.path_signature() == other.path_signature()
+
+    def uop_ips(self) -> List[int]:
+        """IPs of member instructions, repeated per uop (redundancy audit)."""
+        ips: List[int] = []
+        for entry in self.entries:
+            ips.extend([entry.instr.ip] * entry.instr.num_uops)
+        return ips
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceLine(start={self.start_ip:#x}, instrs={len(self.entries)}, "
+            f"uops={self.total_uops}, conds={self.num_cond_branches})"
+        )

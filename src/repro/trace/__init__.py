@@ -1,0 +1,25 @@
+"""Trace-driven execution substrate.
+
+The paper's simulator is trace-driven: a recorded dynamic instruction
+stream is replayed through stand-alone frontend models.  This package
+produces such streams from synthetic programs
+(:mod:`repro.trace.executor`), serializes them
+(:mod:`repro.trace.tracefile`), and computes the block-length
+statistics of Figure 1 (:mod:`repro.trace.blockstats`).
+"""
+
+from repro.trace.record import DynInstr, Trace
+from repro.trace.executor import TraceExecutor, execute_program
+from repro.trace.blockstats import BlockLengthStats, compute_block_stats
+from repro.trace.tracefile import save_trace, load_trace
+
+__all__ = [
+    "DynInstr",
+    "Trace",
+    "TraceExecutor",
+    "execute_program",
+    "BlockLengthStats",
+    "compute_block_stats",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,145 @@
+"""Trace-driven executor: walks a synthetic program's CFG.
+
+The executor is the synthetic stand-in for the paper's trace collector:
+it follows real control flow through the generated program — evaluating
+each branch's behaviour model, maintaining a call stack for
+call/return pairing — and emits the dynamic instruction stream the
+frontend simulators replay.
+
+Execution ends when the uop budget is reached (the synthetic ``main``
+loops forever by construction, mirroring how the paper samples 30M
+consecutive instructions out of longer executions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import SimulationError
+from repro.program.cfg import LayoutBlock, Program, TerminatorKind
+from repro.trace.record import DynInstr, Trace
+
+#: Hard cap on the executor's call stack; deeper than any generated
+#: call graph, so hitting it means a generator bug (recursion).
+_MAX_CALL_DEPTH = 128
+
+
+class TraceExecutor:
+    """Executes a program, producing a :class:`~repro.trace.record.Trace`."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+
+    def run(self, max_uops: int, max_instructions: Optional[int] = None) -> Trace:
+        """Execute from the program entry until *max_uops* are emitted.
+
+        The final block is always emitted in full, so the trace may
+        overshoot the budget by up to one block.
+        """
+        program = self.program
+        program.reset_behaviors()
+        records: List[DynInstr] = []
+        uops = 0
+        instr_cap = max_instructions if max_instructions is not None else 2**62
+
+        call_stack: List[int] = []  # bids execution resumes at after RET
+        block = program.entry_block
+
+        while uops < max_uops and len(records) < instr_cap:
+            uops += self._emit_body(block, records)
+            next_block, taken, next_ip = self._execute_terminator(block, call_stack)
+            term = block.terminator
+            records.append(DynInstr(instr=term, taken=taken, next_ip=next_ip))
+            uops += term.num_uops
+            if next_block is None:
+                raise SimulationError(
+                    f"execution fell off the program at block {block.bid} "
+                    f"({block.terminator_kind.value} terminator)"
+                )
+            block = next_block
+
+        return Trace(
+            records=records,
+            name=program.name,
+            suite=program.suite,
+            seed=program.seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _emit_body(self, block: LayoutBlock, records: List[DynInstr]) -> int:
+        """Emit the block's non-branch instructions; returns uops emitted."""
+        uops = 0
+        for instr in block.body:
+            records.append(
+                DynInstr(instr=instr, taken=False, next_ip=instr.next_ip)
+            )
+            uops += instr.num_uops
+        return uops
+
+    def _execute_terminator(
+        self,
+        block: LayoutBlock,
+        call_stack: List[int],
+    ):
+        """Resolve the terminator; returns ``(next_block, taken, next_ip)``."""
+        program = self.program
+        kind = block.terminator_kind
+        term = block.terminator
+
+        if kind is TerminatorKind.COND:
+            behavior = program.cond_behaviors[term.ip]
+            taken = behavior.next_taken()
+            bid = block.taken_bid if taken else block.fall_bid
+            nxt = program.blocks[bid]
+            return nxt, taken, nxt.entry_ip
+
+        if kind is TerminatorKind.JUMP:
+            nxt = program.blocks[block.taken_bid]
+            return nxt, True, nxt.entry_ip
+
+        if kind is TerminatorKind.CALL:
+            if len(call_stack) >= _MAX_CALL_DEPTH:
+                raise SimulationError("call stack overflow: recursive call graph?")
+            call_stack.append(block.fall_bid)
+            nxt = program.blocks[block.taken_bid]
+            return nxt, True, nxt.entry_ip
+
+        if kind is TerminatorKind.INDIRECT_CALL:
+            if len(call_stack) >= _MAX_CALL_DEPTH:
+                raise SimulationError("call stack overflow: recursive call graph?")
+            behavior = program.indirect_behaviors[term.ip]
+            target_ip = behavior.next_target()
+            nxt = program.block_at_ip(target_ip)
+            if nxt is None:
+                raise SimulationError(
+                    f"indirect call at {term.ip:#x} targets non-block {target_ip:#x}"
+                )
+            call_stack.append(block.fall_bid)
+            return nxt, True, nxt.entry_ip
+
+        if kind is TerminatorKind.INDIRECT:
+            behavior = program.indirect_behaviors[term.ip]
+            target_ip = behavior.next_target()
+            nxt = program.block_at_ip(target_ip)
+            if nxt is None:
+                raise SimulationError(
+                    f"indirect jump at {term.ip:#x} targets non-block {target_ip:#x}"
+                )
+            return nxt, True, nxt.entry_ip
+
+        if kind is TerminatorKind.RET:
+            if not call_stack:
+                raise SimulationError(
+                    f"return at {term.ip:#x} with an empty call stack"
+                )
+            bid = call_stack.pop()
+            nxt = program.blocks[bid]
+            return nxt, True, nxt.entry_ip
+
+        raise SimulationError(f"unhandled terminator kind {kind}")
+
+
+def execute_program(program: Program, max_uops: int) -> Trace:
+    """Convenience wrapper: run *program* for *max_uops* uops."""
+    return TraceExecutor(program).run(max_uops=max_uops)

@@ -1,0 +1,75 @@
+"""Dynamic trace records.
+
+A trace is a list of :class:`DynInstr` records, each pairing a static
+:class:`~repro.isa.instruction.Instruction` with its dynamic outcome:
+whether a branch was taken and the address control actually went to
+next.  That is the entire interface the frontend simulators need — the
+same record layout the paper's own trace-driven simulator consumes.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.isa.instruction import Instruction
+
+
+class DynInstr(NamedTuple):
+    """One dynamically executed instruction."""
+
+    instr: Instruction
+    taken: bool
+    next_ip: int
+
+    @property
+    def ip(self) -> int:
+        """Address of the executed instruction."""
+        return self.instr.ip
+
+    @property
+    def num_uops(self) -> int:
+        """Uops this instruction contributes to the stream."""
+        return self.instr.num_uops
+
+
+class Trace:
+    """A dynamic instruction stream plus its provenance metadata."""
+
+    def __init__(
+        self,
+        records: List[DynInstr],
+        name: str = "",
+        suite: str = "",
+        seed: int = 0,
+    ) -> None:
+        self.records = records
+        self.name = name
+        self.suite = suite
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    @property
+    def total_uops(self) -> int:
+        """Total uops in the stream (the unit the paper reports in)."""
+        return sum(r.instr.num_uops for r in self.records)
+
+    @property
+    def dynamic_instructions(self) -> int:
+        """Total dynamic instruction count."""
+        return len(self.records)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and examples."""
+        return (
+            f"trace {self.name or '?'} (suite={self.suite or '?'}): "
+            f"{self.dynamic_instructions} instructions, "
+            f"{self.total_uops} uops"
+        )

@@ -1,0 +1,135 @@
+"""Trace serialization.
+
+Traces are stored as plain text: a header line with metadata, then one
+line per dynamic instruction.  The format is deliberately simple — it
+exists so examples can cache expensive traces and so users can import
+streams produced by other tools (any trace convertible to
+``ip size kind uops target taken next_ip`` rows can drive the
+simulators).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, TextIO, Union
+
+from repro.common.errors import TraceFormatError
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr, Trace
+
+_MAGIC = "xbc-trace-v1"
+
+_KIND_CODES: Dict[InstrKind, str] = {
+    InstrKind.ALU: "A",
+    InstrKind.LOAD: "L",
+    InstrKind.STORE: "S",
+    InstrKind.COND_BRANCH: "C",
+    InstrKind.JUMP: "J",
+    InstrKind.INDIRECT_JUMP: "I",
+    InstrKind.CALL: "K",
+    InstrKind.INDIRECT_CALL: "X",
+    InstrKind.RETURN: "R",
+}
+_CODE_KINDS = {code: kind for kind, code in _KIND_CODES.items()}
+
+
+def save_trace(trace: Trace, target: Union[str, TextIO]) -> None:
+    """Write *trace* to a path or text stream."""
+    own = isinstance(target, str)
+    stream = open(target, "w", encoding="ascii") if own else target
+    try:
+        stream.write(
+            f"{_MAGIC} name={trace.name or '-'} suite={trace.suite or '-'} "
+            f"seed={trace.seed} n={len(trace)}\n"
+        )
+        # Static instructions repeat; emit each static IP's shape once.
+        described = set()
+        for record in trace.records:
+            instr = record.instr
+            if instr.ip not in described:
+                described.add(instr.ip)
+                target_field = instr.target if instr.target is not None else -1
+                stream.write(
+                    f"i {instr.ip} {instr.size} {_KIND_CODES[instr.kind]} "
+                    f"{instr.num_uops} {target_field}\n"
+                )
+            stream.write(
+                f"d {instr.ip} {1 if record.taken else 0} {record.next_ip}\n"
+            )
+    finally:
+        if own:
+            stream.close()
+
+
+def load_trace(source: Union[str, TextIO]) -> Trace:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises :class:`~repro.common.errors.TraceFormatError` on any
+    malformed content.
+    """
+    own = isinstance(source, str)
+    stream = open(source, "r", encoding="ascii") if own else source
+    try:
+        header = stream.readline().strip()
+        if not header.startswith(_MAGIC):
+            raise TraceFormatError(f"bad magic: {header[:40]!r}")
+        meta = dict(
+            part.split("=", 1) for part in header.split()[1:] if "=" in part
+        )
+        instructions: Dict[int, Instruction] = {}
+        records = []
+        for line_no, line in enumerate(stream, start=2):
+            fields = line.split()
+            if not fields:
+                continue
+            try:
+                if fields[0] == "i":
+                    ip, size = int(fields[1]), int(fields[2])
+                    kind = _CODE_KINDS[fields[3]]
+                    uops = int(fields[4])
+                    target = int(fields[5])
+                    instructions[ip] = Instruction(
+                        ip=ip,
+                        size=size,
+                        kind=kind,
+                        num_uops=uops,
+                        target=None if target < 0 else target,
+                    )
+                elif fields[0] == "d":
+                    ip = int(fields[1])
+                    taken = fields[2] == "1"
+                    next_ip = int(fields[3])
+                    records.append(
+                        DynInstr(
+                            instr=instructions[ip],
+                            taken=taken,
+                            next_ip=next_ip,
+                        )
+                    )
+                else:
+                    raise TraceFormatError(
+                        f"line {line_no}: unknown record type {fields[0]!r}"
+                    )
+            except (KeyError, ValueError, IndexError) as exc:
+                raise TraceFormatError(f"line {line_no}: {exc}") from exc
+        return Trace(
+            records=records,
+            name="" if meta.get("name") == "-" else meta.get("name", ""),
+            suite="" if meta.get("suite") == "-" else meta.get("suite", ""),
+            seed=int(meta.get("seed", "0")),
+        )
+    finally:
+        if own:
+            stream.close()
+
+
+def trace_to_string(trace: Trace) -> str:
+    """Serialize to an in-memory string (round-trip helper for tests)."""
+    buffer = io.StringIO()
+    save_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def trace_from_string(text: str) -> Trace:
+    """Parse a trace from an in-memory string."""
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,40 @@
+"""The eXtended Block Cache — the paper's contribution (§3).
+
+Public surface:
+
+- :class:`~repro.xbc.config.XbcConfig` — geometry and the §3 policy
+  switches (promotion, set search, dynamic placement, overlap policy);
+- :class:`~repro.xbc.frontend.XbcFrontend` — the complete frontend;
+- :func:`~repro.xbc.xbseq.build_xb_stream` — the canonical XB
+  partitioning of a trace (useful for analysis on its own);
+- the building blocks (:class:`~repro.xbc.storage.XbcStorage`,
+  :class:`~repro.xbc.xbtb.Xbtb`, :class:`~repro.xbc.fill.XbcFillUnit`,
+  :class:`~repro.xbc.promotion.Promoter`) for users assembling custom
+  variants.
+"""
+
+from repro.xbc.config import XbcConfig
+from repro.xbc.pointer import XbPointer
+from repro.xbc.xbseq import XbStep, build_xb_stream
+from repro.xbc.storage import XbcStorage, XbcLine
+from repro.xbc.xbtb import Xbtb, XbtbEntry, XbVariant
+from repro.xbc.fill import XbcFillUnit, common_suffix_len
+from repro.xbc.promotion import Promoter
+from repro.xbc.frontend import XbcFrontend, FetchUnit
+
+__all__ = [
+    "XbcConfig",
+    "XbPointer",
+    "XbStep",
+    "build_xb_stream",
+    "XbcStorage",
+    "XbcLine",
+    "Xbtb",
+    "XbtbEntry",
+    "XbVariant",
+    "XbcFillUnit",
+    "common_suffix_len",
+    "Promoter",
+    "XbcFrontend",
+    "FetchUnit",
+]

@@ -1,0 +1,231 @@
+"""The XFU — the XBC's fill unit (§3.3).
+
+When a new XB finishes building, its end-IP tag may match an existing
+XB, and the paper's build algorithm distinguishes three cases (plus the
+trivial no-match insert):
+
+1. the existing XB *contains* the new one → nothing to store;
+2. the new XB contains the existing one → the existing XB is extended
+   at its head, in place (the reverse-order payoff);
+3. same suffix, different prefix → either a *complex XB* (new prefix
+   lines sharing the suffix lines, selected by mask vector) or — the
+   alternative the paper describes and rejects for bandwidth — the
+   prefix is stored as an independent XB chained to the suffix
+   (``overlap_policy="split"``).
+
+The returned pointer is what the previous XB's XBTB entry records: it
+locates this occurrence's entry point (mask + OFFSET).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.isa.uop import uop_uid_ip
+from repro.xbc.config import XbcConfig
+from repro.xbc.pointer import XbPointer
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb, XbtbEntry, XbVariant
+
+
+def common_suffix_len(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common suffix of two uop sequences."""
+    n = 0
+    limit = min(len(a), len(b))
+    while n < limit and a[len(a) - 1 - n] == b[len(b) - 1 - n]:
+        n += 1
+    return n
+
+
+class XbcFillUnit:
+    """Builds XBs into the storage array and registers their variants."""
+
+    def __init__(
+        self,
+        config: XbcConfig,
+        storage: XbcStorage,
+        xbtb: Xbtb,
+        stats: FrontendStats,
+    ) -> None:
+        self.config = config
+        self.storage = storage
+        self.xbtb = xbtb
+        self.stats = stats
+
+    def install(
+        self,
+        xb_ip: int,
+        end_kind: Optional[InstrKind],
+        uops: Sequence[int],
+        avoid_mask: int = 0,
+        _depth: int = 0,
+    ) -> Tuple[XbtbEntry, Optional[XbPointer]]:
+        """Install one built XB occurrence.
+
+        Returns the XB's XBTB entry and a pointer locating this
+        occurrence's entry point (``None`` when placement failed — the
+        occurrence stays IC-served until rebuilt).
+        """
+        entry = self.xbtb.get_or_create(xb_ip, end_kind)
+        offset = len(uops)
+        uops = list(uops)
+
+        # Classify against live variants.
+        containing: Optional[XbVariant] = None
+        extendable: Optional[Tuple[XbVariant, List[int]]] = None
+        best_overlap: Optional[Tuple[XbVariant, List[int], int]] = None
+        alive: List[XbVariant] = []
+        for variant in entry.variants:
+            stored = variant.read(self.storage, xb_ip)
+            if stored is None or len(stored) < variant.length:
+                continue  # stale record: storage evicted part of it
+            alive.append(variant)
+            sfx = common_suffix_len(stored, uops)
+            if sfx == offset:
+                if containing is None:
+                    containing = variant
+            elif sfx == len(stored):
+                if extendable is None or len(stored) > len(extendable[1]):
+                    extendable = (variant, stored)
+            elif sfx > 0:
+                if best_overlap is None or sfx > best_overlap[2]:
+                    best_overlap = (variant, stored, sfx)
+        entry.variants = alive
+
+        if containing is not None:
+            # Case 1: already stored; only the XBTB needs the pointer.
+            self.stats.bump("xfu_case1_contained")
+            return entry, XbPointer(xb_ip, containing.mask, offset)
+
+        if extendable is not None:
+            variant, stored = extendable
+            added = uops[: offset - len(stored)]
+            new_mask = self.storage.extend_xb(
+                xb_ip, variant.mask, len(stored), added,
+                mapping=variant.locate(self.storage, xb_ip),
+            )
+            if new_mask is not None:
+                variant.mask = new_mask
+                variant.length = offset
+                variant.lines = list(self.storage.last_lines)
+                self.stats.bump("xfu_case2_extended")
+                return entry, XbPointer(xb_ip, new_mask, offset)
+            # Extension could not claim a bank; fall through to storing
+            # the occurrence as a sibling variant sharing the suffix.
+            best_overlap = (variant, stored, len(stored))
+
+        if best_overlap is not None:
+            variant, stored, sfx = best_overlap
+            if self.config.overlap_policy == "split" and _depth == 0:
+                return entry, self._install_split(
+                    entry, uops, variant, sfx, avoid_mask
+                )
+            mapping = variant.locate(self.storage, xb_ip)
+            if mapping is not None:
+                mask = self.storage.add_variant(
+                    xb_ip, uops, mapping, reuse_len=sfx,
+                    reuse_mask=variant.mask,
+                )
+                if mask is None:
+                    mask = self._truncate_and_retry(
+                        entry, xb_ip, uops, mapping, sfx
+                    )
+                if mask is not None:
+                    entry.variants.append(XbVariant(
+                        mask, offset, self.storage.last_lines
+                    ))
+                    self.stats.bump("xfu_case3_complex")
+                    return entry, XbPointer(xb_ip, mask, offset)
+            self.stats.bump("xfu_unplaced")
+            return entry, None
+
+        # Case 0: no live copy at all — fresh insert.
+        mask = self.storage.insert_xb(xb_ip, uops, avoid_mask)
+        if mask is None:
+            self.stats.bump("xfu_unplaced")
+            return entry, None
+        entry.variants = [XbVariant(mask, offset, self.storage.last_lines)]
+        self.stats.bump("xfu_fresh_inserts")
+        return entry, XbPointer(xb_ip, mask, offset)
+
+    # ------------------------------------------------------------------
+
+    def _truncate_and_retry(
+        self,
+        entry: XbtbEntry,
+        xb_ip: int,
+        uops: List[int],
+        mapping,
+        sfx: int,
+    ) -> Optional[int]:
+        """Free same-tag banks beyond the shared suffix and retry.
+
+        A prefix variant can be unplaceable when the tag's other lines
+        (deep prefixes of this or sibling variants) occupy the banks it
+        needs.  Hardware must evict something; we keep exactly the
+        shared suffix lines — which every surviving entry offset <=
+        *sfx* still uses — and drop the rest, then retry the placement.
+        Pointers into the dropped prefixes heal via set search or a
+        rebuild.
+        """
+        line_uops = self.config.line_uops
+        shared_lines = sfx // line_uops
+        keep_mask = 0
+        for order in range(shared_lines):
+            if order not in mapping:
+                return None
+            keep_mask |= 1 << mapping[order][0]
+        self.storage.truncate_tag(xb_ip, keep_mask)
+        self.stats.bump("xfu_truncations")
+        # Every recorded variant now extends at most to the kept lines.
+        kept_len = shared_lines * line_uops
+        set_idx = self.storage.index_of(xb_ip)
+        kept_lines = [
+            self.storage._sets[set_idx][mapping[o][0]][mapping[o][1]]
+            for o in range(shared_lines)
+        ]
+        entry.variants = (
+            [XbVariant(keep_mask, kept_len, kept_lines)]
+            if shared_lines else []
+        )
+        if shared_lines == 0:
+            # Nothing shared survived: store the occurrence whole.
+            return self.storage.insert_xb(xb_ip, uops)
+        return self.storage.add_variant(
+            xb_ip, uops, mapping, reuse_len=sfx, reuse_mask=keep_mask
+        )
+
+    def _install_split(
+        self,
+        entry: XbtbEntry,
+        uops: List[int],
+        suffix_variant: XbVariant,
+        sfx: int,
+        avoid_mask: int,
+    ) -> Optional[XbPointer]:
+        """§3.3 alternative: store the differing prefix as its own XB.
+
+        The prefix ends with the instruction just before the shared
+        suffix (typically an unconditional jump); its XBTB entry chains
+        to the suffix entry point via the fall-through pointer.  The
+        paper notes the cost: two short fetch units instead of one long
+        one, and an extra XBTB entry.
+        """
+        prefix = uops[: len(uops) - sfx]
+        if not prefix:
+            self.stats.bump("xfu_unplaced")
+            return None
+        prefix_ip = uop_uid_ip(prefix[-1])
+        prefix_entry, prefix_ptr = self.install(
+            prefix_ip, None, prefix, avoid_mask, _depth=1
+        )
+        if prefix_ptr is None:
+            self.stats.bump("xfu_unplaced")
+            return None
+        prefix_entry.nt_ptr = XbPointer(
+            entry.xb_ip, suffix_variant.mask, sfx
+        )
+        self.stats.bump("xfu_case3_split")
+        return prefix_ptr

@@ -1,0 +1,732 @@
+"""The XBC frontend (§3.5–§3.10): the paper's Figure 6 put together.
+
+Delivery mode follows XBTB pointers: each cycle the XBTB supplies up to
+``xbs_per_cycle`` pointers (each conditional XB costs one XBP
+prediction; promoted XBs cost none), a priority encoder assigns banks —
+first XB first, the second XB fetching only until its first bank
+conflict, with the conflicted remainder deferred to the next cycle —
+and the out-mux reorders the reverse-stored uops.  XBTB misses,
+unresolvable targets, and XBC misses that survive set search switch the
+frontend to build mode; there the shared IC/BTB/decode engine supplies
+uops while the XFU builds XBs, and the frontend switches back once the
+next XB is reachable through the XBTB with its lines resident.
+
+Bookkeeping discipline: every *transition* between consecutive XBs
+(prediction consumption, bias-counter update, XRSB push/pop, XiBTB
+training) happens exactly once, whichever mode processes it; gshare is
+trained per conditional branch exactly once — by the build engine when
+the branch's uops came from the IC, by the transition logic when they
+came from the XBC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.frontend.base import FrontendModel, UopFlow
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.isa.uop import uop_uid_ip, uop_uid_index
+from repro.trace.record import Trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.fill import XbcFillUnit
+from repro.xbc.pointer import XbPointer
+from repro.xbc.promotion import Promoter
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbseq import XbStep, build_xb_stream
+from repro.xbc.xbtb import Xbtb, XbtbEntry
+
+
+@dataclass
+class FetchUnit:
+    """One XBC fetch in flight: a located XB entry point."""
+
+    xb_ip: int
+    mask: int
+    offset: int                     # uops still to fetch, from the end
+    rev_expected: List[int]         # expected uops, distance order
+    advance_steps: int              # steps completed when this unit finishes
+    source_ptr: Optional[XbPointer] = None  # repaired in place by set search
+    delivered: int = 0              # uops already delivered (partial fetches)
+    counted: bool = False           # structure_lookups already incremented
+    hit_counted: bool = False       # structure_hits already incremented
+
+
+class _Run:
+    """All mutable state of one simulation (one trace, one frontend)."""
+
+    def __init__(self) -> None:
+        self.records = None
+        self.steps: List[XbStep] = []
+        self.stats: FrontendStats = None  # type: ignore[assignment]
+        self.flow: UopFlow = None  # type: ignore[assignment]
+        self.gshare: GsharePredictor = None  # type: ignore[assignment]
+        self.xibtb: IndirectPredictor = None  # type: ignore[assignment]
+        self.xrsb: ReturnStackBuffer = None  # type: ignore[assignment]
+        self.engine: BuildEngine = None  # type: ignore[assignment]
+        self.storage: XbcStorage = None  # type: ignore[assignment]
+        self.xbtb: Xbtb = None  # type: ignore[assignment]
+        self.fill: XbcFillUnit = None  # type: ignore[assignment]
+        self.promoter: Promoter = None  # type: ignore[assignment]
+
+        self.si = 0            # next step to cover
+        self.consumed = 0      # uops of steps[si] already covered (split chains)
+        self.pos = 0           # record index (build mode)
+        self.delivery = False
+        self.cur_entry: Optional[XbtbEntry] = None
+        self.last_taken = False
+        self.last_in_build = True
+        self.last_mask = 0     # previous XB's banks (smart placement)
+        self.a_done = False    # transition bookkeeping for steps[si] done
+        self.link_info: Tuple[Optional[XbtbEntry], bool] = (None, False)
+        #: indirect-ended entry whose XiBTB payload the next build
+        #: finalize should (re)train with the fill unit's real pointer
+        self.xibtb_source: Optional[XbtbEntry] = None
+        self.resolved: Optional[Tuple[str, Optional[FetchUnit]]] = None
+        self.pending: Optional[FetchUnit] = None
+
+
+class XbcFrontend(FrontendModel):
+    """The eXtended Block Cache frontend."""
+
+    name = "xbc"
+
+    def __init__(
+        self,
+        config: FrontendConfig = FrontendConfig(),
+        xbc_config: XbcConfig = XbcConfig(),
+    ) -> None:
+        super().__init__(config)
+        xbc_config.validate()
+        self.xbc_config = xbc_config
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> FrontendStats:
+        """Simulate the trace through the XBC frontend."""
+        config = self.config
+        xc = self.xbc_config
+        r = _Run()
+        r.records = trace.records
+        r.steps = build_xb_stream(trace, xc.max_xb_uops)
+        r.stats = FrontendStats(frontend=self.name, trace_name=trace.name)
+        r.flow = UopFlow(config, r.stats)
+        r.gshare = GsharePredictor(config.gshare_history_bits, config.gshare_entries)
+        r.xibtb = IndirectPredictor(
+            config.indirect_entries, config.indirect_history_bits
+        )
+        r.xrsb = ReturnStackBuffer(xc.xrsb_depth)
+        r.engine = BuildEngine(
+            config=config,
+            stats=r.stats,
+            icache=InstructionCache(
+                config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+            ),
+            cond_predictor=r.gshare,
+            btb=BranchTargetBuffer(config.btb_entries, config.btb_assoc),
+            rsb=ReturnStackBuffer(config.rsb_depth),
+            indirect=IndirectPredictor(
+                config.indirect_entries, config.indirect_history_bits
+            ),
+        )
+        r.storage = XbcStorage(xc)
+        r.xbtb = Xbtb(xc)
+        r.fill = XbcFillUnit(xc, r.storage, r.xbtb, r.stats)
+        r.promoter = Promoter(xc, r.storage, r.xbtb, r.stats)
+
+        while r.si < len(r.steps):
+            r.stats.cycles += 1
+            r.flow.drain()
+            if r.delivery:
+                self._delivery_cycle(r)
+            else:
+                self._build_cycle(r)
+        r.flow.drain_all()
+
+        r.stats.extra["xbc_redundancy_x1000"] = int(r.storage.redundancy() * 1000)
+        r.stats.extra["xbc_resident_uops"] = r.storage.resident_uops()
+        r.stats.extra["xbc_evictions"] = r.storage.evictions
+        r.stats.extra["xbc_gc_evictions"] = r.storage.gc_evictions
+        r.stats.extra["xbc_relocations"] = r.storage.relocations
+        r.stats.extra["xbtb_entries"] = r.xbtb.resident_entries()
+        r.stats.verify_conservation(trace.total_uops)
+        return r.stats
+
+    # ------------------------------------------------------------------
+    # delivery mode
+    # ------------------------------------------------------------------
+
+    def _delivery_cycle(self, r: _Run) -> None:
+        stats = r.stats
+        xc = self.xbc_config
+        stats.delivery_cycles += 1
+        if not r.flow.can_accept(xc.max_xb_uops):
+            return
+
+        banks_used = 0
+        delivered_any = False
+        slots = xc.xbs_per_cycle
+
+        unit = r.pending
+        r.pending = None
+        while slots > 0 and r.si < len(r.steps):
+            if unit is None:
+                if r.resolved is not None:
+                    tag, unit = r.resolved
+                    r.resolved = None
+                else:
+                    tag, unit = self._resolve_fresh(r)
+                if tag == "build":
+                    if delivered_any or slots < xc.xbs_per_cycle:
+                        # Fetched something this cycle; switch next cycle.
+                        r.resolved = ("build", None)
+                        break
+                    self._switch_to_build(r)
+                    break
+                if tag == "stall":
+                    r.resolved = ("unit", unit)
+                    break
+            status, banks_used = self._execute_fetch(r, unit, banks_used)
+            if status == "miss":
+                self._abort_unit(r, unit)
+                self._switch_to_build(r)
+                break
+            if status in ("retry", "deferred"):
+                r.pending = unit
+                break
+            delivered_any = True
+            if status == "partial":
+                r.pending = unit
+                break
+            # status == "done"
+            self._advance_after(r, unit)
+            unit = None
+            slots -= 1
+        if delivered_any:
+            stats.structure_fetch_cycles += 1
+
+    def _switch_to_build(self, r: _Run) -> None:
+        r.delivery = False
+        r.resolved = None
+        r.stats.switches_to_build += 1
+        r.stats.add_penalty("mode_switch", self.config.mode_switch_penalty)
+        r.pos = self._record_pos(r)
+
+    def _record_pos(self, r: _Run) -> int:
+        """Record index of the first uncovered instruction of steps[si]."""
+        step = r.steps[r.si]
+        if r.consumed == 0:
+            return step.first_record
+        skipped = sum(
+            1 for uid in step.uops[: r.consumed] if uop_uid_index(uid) == 0
+        )
+        return step.first_record + skipped
+
+    def _abort_unit(self, r: _Run, unit: FetchUnit) -> None:
+        """Undo the uop accounting of a half-delivered unit (rare).
+
+        A pending unit can only die if its lines vanished between
+        cycles; the step is then rebuilt wholesale in build mode, so
+        the already-delivered uops must not be double counted.
+        """
+        if unit.delivered:
+            r.stats.uops_from_structure -= unit.delivered
+            # Some of the aborted uops may still sit in the queue, the
+            # rest were already drained; undo both sides exactly so the
+            # rebuild in build mode re-supplies them once.
+            undrained = min(r.flow.occupancy, unit.delivered)
+            r.flow.occupancy -= undrained
+            r.stats.retired_uops -= unit.delivered - undrained
+            r.stats.bump("pending_aborts")
+
+    # ------------------------------------------------------------------
+    # transition resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_fresh(self, r: _Run) -> Tuple[str, Optional[FetchUnit]]:
+        """Consume the transition into steps[si]; build the fetch unit.
+
+        Returns ("unit", u) to fetch now, ("stall", u) after a charged
+        re-steer with the corrected unit ready for next cycle, or
+        ("build", None).
+        """
+        step = r.steps[r.si]
+        remaining = list(step.uops[r.consumed:])
+        entry = r.cur_entry
+        if entry is None:
+            return ("build", None)
+
+        ptr, mispredict = self._transition(r, entry, step, remaining, in_build=False)
+        shape = self._validate_ptr(ptr, step, remaining)
+        if mispredict is not None:
+            r.stats.add_penalty("mispredict", self.config.mispredict_penalty)
+            if shape is None:
+                return ("build", None)
+            return ("stall", self._make_unit(r, ptr, step, remaining, shape))
+        if shape is None:
+            return ("build", None)
+        unit = self._make_unit(r, ptr, step, remaining, shape)
+        return ("unit", unit)
+
+    def _transition(
+        self,
+        r: _Run,
+        entry: XbtbEntry,
+        step: XbStep,
+        remaining: List[int],
+        in_build: bool,
+    ) -> Tuple[Optional[XbPointer], Optional[str]]:
+        """Once-per-transition bookkeeping; returns (candidate, mispredict).
+
+        *candidate* is the pointer the machine ends up following on the
+        correct path (trace-driven); *mispredict* names the re-steer
+        cause when the prediction disagreed with the actual outcome
+        (``None`` when prediction was right or already charged by the
+        build engine).
+        """
+        stats = r.stats
+        r.a_done = True
+        r.link_info = (entry, False)
+        kind = entry.end_kind
+        actual_payload = (step.end_ip, len(remaining))
+
+        if kind is None:
+            return entry.nt_ptr, None
+
+        if kind is InstrKind.COND_BRANCH:
+            actual = r.last_taken
+            r.link_info = (entry, actual)
+            if entry.promoted is not None:
+                promoted_dir = entry.promoted
+                r.promoter.on_outcome(entry, actual)
+                ptr = entry.pointer_for(actual)
+                if actual != promoted_dir:
+                    stats.bump("promotion_misses")
+                    return ptr, None if in_build else "promotion"
+                return ptr, None
+            mispredict: Optional[str] = None
+            if not in_build and not r.last_in_build:
+                stats.cond_predictions += 1
+                if not r.gshare.update(entry.xb_ip, actual):
+                    stats.cond_mispredicts += 1
+                    mispredict = "cond"
+            r.promoter.on_outcome(entry, actual)
+            return entry.pointer_for(actual), mispredict
+
+        if kind is InstrKind.CALL:
+            r.xrsb.push(entry)
+            r.link_info = (entry, True)
+            return entry.taken_ptr, None
+
+        if kind in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
+            if kind is InstrKind.INDIRECT_CALL:
+                r.xrsb.push(entry)
+            r.link_info = (None, False)  # the XiBTB owns this linkage
+            r.xibtb_source = entry       # finalize trains the real payload
+            predicted = r.xibtb.predict(entry.xb_ip)
+            candidate = (
+                self._resolve_payload_ptr(r, predicted, step, remaining)
+                if predicted is not None else None
+            )
+            correct = candidate is not None
+            mispredict = None
+            if not in_build and not r.last_in_build:
+                stats.indirect_predictions += 1
+                if not correct:
+                    stats.indirect_mispredicts += 1
+                    mispredict = "indirect"
+            if correct:
+                # Reinforce the winning payload (it may name a split
+                # prefix, which a plain end-IP payload could not).
+                r.xibtb.train(entry.xb_ip, predicted, step.end_ip)
+                return candidate, None
+            r.xibtb.train(entry.xb_ip, actual_payload, step.end_ip)
+            return (
+                self._resolve_payload_ptr(r, actual_payload, step, remaining),
+                mispredict,
+            )
+
+        if kind is InstrKind.RETURN:
+            e_call = r.xrsb.pop()
+            ptr = e_call.nt_ptr if e_call is not None else None
+            good = ptr is not None and ptr.matches(*actual_payload)
+            mispredict = None
+            if not in_build and not r.last_in_build:
+                stats.return_predictions += 1
+                if not good:
+                    stats.return_mispredicts += 1
+                    mispredict = "return"
+            if good:
+                r.link_info = (e_call, False)
+                return ptr, None
+            r.link_info = (e_call, False) if e_call is not None else (None, False)
+            return (
+                self._resolve_payload_ptr(r, actual_payload, step, remaining),
+                mispredict,
+            )
+
+        return None, None
+
+    def _pointer_from_payload(
+        self,
+        r: _Run,
+        payload: Tuple[int, int],
+        rev_expected: Optional[List[int]] = None,
+    ) -> Optional[XbPointer]:
+        """Resolve a (xb_ip, offset) payload through the target's entry.
+
+        When *rev_expected* is given, only a variant whose stored
+        content matches it qualifies — essential when one end-IP has
+        several variants with different prefixes (§3.3).
+        """
+        xb_ip, offset = payload
+        target = r.xbtb.peek(xb_ip)
+        if target is None:
+            return None
+        for variant in target.valid_variants(r.storage):
+            if variant.length < offset:
+                continue
+            # Locate through the variant's line references: dynamic
+            # placement may have moved lines, leaving the mask stale.
+            mapping = variant.locate(r.storage, xb_ip)
+            if mapping is None:
+                continue
+            mask = 0
+            for bank, _way in mapping.values():
+                mask |= 1 << bank
+            variant.mask = mask  # heal the record while we are here
+            if rev_expected is not None and r.storage.probe(
+                xb_ip, mask, offset, rev_expected
+            ) is None:
+                continue
+            return XbPointer(xb_ip, mask, offset)
+        return None
+
+    def _resolve_payload_ptr(
+        self,
+        r: _Run,
+        payload: Tuple[int, int],
+        step: XbStep,
+        remaining: List[int],
+    ) -> Optional[XbPointer]:
+        """Resolve a payload against the actual path, content-checked.
+
+        Accepts both shapes a correct payload can take: the full
+        remainder of the current step, or a split-prefix chain link
+        covering its leading instructions.
+        """
+        xb_ip, offset = payload
+        rem = len(remaining)
+        if xb_ip == step.end_ip and offset == rem:
+            expected = remaining[::-1]
+        elif (
+            0 < offset < rem
+            and uop_uid_ip(remaining[offset - 1]) == xb_ip
+            and uop_uid_ip(remaining[offset]) != xb_ip
+        ):
+            expected = remaining[:offset][::-1]
+        else:
+            return None
+        return self._pointer_from_payload(r, payload, expected)
+
+    def _validate_ptr(
+        self,
+        ptr: Optional[XbPointer],
+        step: XbStep,
+        remaining: List[int],
+    ) -> Optional[str]:
+        """Check a candidate pointer against the actual path.
+
+        "full" covers the whole remainder of the step; "prefix" is a
+        split-policy chain link covering its leading instructions.
+        """
+        if ptr is None:
+            return None
+        rem = len(remaining)
+        if ptr.xb_ip == step.end_ip and ptr.offset == rem:
+            return "full"
+        if (
+            0 < ptr.offset < rem
+            and uop_uid_ip(remaining[ptr.offset - 1]) == ptr.xb_ip
+            and uop_uid_ip(remaining[ptr.offset]) != ptr.xb_ip
+        ):
+            return "prefix"
+        return None
+
+    def _make_unit(
+        self,
+        r: _Run,
+        ptr: XbPointer,
+        step: XbStep,
+        remaining: List[int],
+        shape: str,
+    ) -> FetchUnit:
+        """Build the fetch unit, upgrading to a combined XB (§3.8)."""
+        if shape == "prefix":
+            covered = remaining[: ptr.offset]
+            return FetchUnit(
+                xb_ip=ptr.xb_ip,
+                mask=ptr.mask,
+                offset=ptr.offset,
+                rev_expected=covered[::-1],
+                advance_steps=0,
+                source_ptr=ptr,
+            )
+
+        target = r.xbtb.peek(ptr.xb_ip)
+        if (
+            target is not None
+            and target.promoted is not None
+            and step.taken == target.promoted
+            and r.si + 1 < len(r.steps)
+        ):
+            nxt = r.steps[r.si + 1]
+            if (
+                nxt.end_ip == target.forward_xb_ip
+                and len(nxt.uops) == target.forward_len1
+            ):
+                e1 = r.xbtb.peek(target.forward_xb_ip)
+                comb_offset = ptr.offset + target.forward_len1
+                variant = (
+                    e1.variant_covering(r.storage, comb_offset)
+                    if e1 is not None
+                    else None
+                )
+                if variant is not None:
+                    r.promoter.on_outcome(target, step.taken)
+                    r.stats.bump("comb_fetches")
+                    combined = remaining + list(nxt.uops)
+                    return FetchUnit(
+                        xb_ip=target.forward_xb_ip,
+                        mask=variant.mask,
+                        offset=comb_offset,
+                        rev_expected=combined[::-1],
+                        advance_steps=2,
+                    )
+
+        return FetchUnit(
+            xb_ip=ptr.xb_ip,
+            mask=ptr.mask,
+            offset=ptr.offset,
+            rev_expected=remaining[::-1],
+            advance_steps=1,
+            source_ptr=ptr,
+        )
+
+    # ------------------------------------------------------------------
+    # storage access
+    # ------------------------------------------------------------------
+
+    def _execute_fetch(
+        self, r: _Run, unit: FetchUnit, banks_used: int
+    ) -> Tuple[str, int]:
+        """Access the data array for one unit under bank arbitration."""
+        stats = r.stats
+        storage = r.storage
+        xc = self.xbc_config
+        if not unit.counted:
+            stats.structure_lookups += 1
+            unit.counted = True
+
+        mapping = storage.probe(
+            unit.xb_ip, unit.mask, unit.offset, unit.rev_expected
+        )
+        if mapping is None:
+            if xc.enable_set_search:
+                stats.bump("set_searches")
+                repaired = storage.set_search(
+                    unit.xb_ip, unit.offset, unit.rev_expected
+                )
+                if repaired is not None:
+                    mask, _mapping = repaired
+                    unit.mask = mask
+                    if unit.source_ptr is not None:
+                        unit.source_ptr.mask = mask
+                    stats.bump("set_search_hits")
+                    stats.add_penalty("set_search", 1)
+                    return "retry", banks_used
+            return "miss", banks_used
+        if not unit.hit_counted:
+            stats.structure_hits += 1
+            unit.hit_counted = True
+
+        needed = storage.orders_for(unit.offset)
+        set_idx = storage.index_of(unit.xb_ip)
+        fetched: dict = {}
+        stop_order = 0  # orders [stop_order, needed) were fetched
+        for order in range(needed - 1, -1, -1):
+            bank = mapping[order][0]
+            if (banks_used >> bank) & 1:
+                stop_order = order + 1
+                break
+            fetched[order] = mapping[order]
+            banks_used |= 1 << bank
+        else:
+            stop_order = 0
+
+        if not fetched:
+            self._note_conflict(r, unit, mapping, banks_used)
+            return "deferred", banks_used
+
+        delivered = unit.offset - stop_order * xc.line_uops
+        storage.touch(set_idx, fetched)
+        stats.uops_from_structure += delivered
+        r.flow.push(delivered)
+        unit.delivered += delivered
+
+        if stop_order > 0:
+            unit.offset = stop_order * xc.line_uops
+            unit.rev_expected = unit.rev_expected[: unit.offset]
+            self._note_conflict(r, unit, mapping, banks_used)
+            return "partial", banks_used
+        return "done", banks_used
+
+    def _note_conflict(
+        self, r: _Run, unit: FetchUnit, mapping: dict, banks_used: int
+    ) -> None:
+        """Record a deferral; relocate the conflicting line if hot (§3.10)."""
+        r.stats.bump("bank_conflict_deferrals")
+        if not r.storage.note_deferral(unit.xb_ip):
+            return
+        if not self.xbc_config.enable_dynamic_placement:
+            return
+        needed = r.storage.orders_for(unit.offset)
+        top = needed - 1
+        if top in mapping:
+            bank, way = mapping[top]
+            set_idx = r.storage.index_of(unit.xb_ip)
+            r.storage.relocate_line(set_idx, bank, way, banks_used)
+
+    def _advance_after(self, r: _Run, unit: FetchUnit) -> None:
+        """Commit a completed fetch unit's step progress."""
+        r.a_done = False
+        r.resolved = None
+        r.link_info = (None, False)
+        r.xibtb_source = None
+        r.last_in_build = False
+        r.last_mask = unit.mask
+        if unit.advance_steps == 0:
+            r.consumed += unit.delivered
+            r.cur_entry = r.xbtb.lookup(unit.xb_ip)
+            return
+        for _ in range(unit.advance_steps):
+            r.last_taken = r.steps[r.si].taken
+            r.si += 1
+        r.consumed = 0
+        r.cur_entry = r.xbtb.lookup(r.steps[r.si - 1].end_ip)
+
+    # ------------------------------------------------------------------
+    # build mode
+    # ------------------------------------------------------------------
+
+    def _build_cycle(self, r: _Run) -> None:
+        stats = r.stats
+        stats.build_cycles += 1
+        if not r.flow.can_accept(4 * self.config.decode_width):
+            return
+        r.pos, cycle = r.engine.fetch_cycle(r.records, r.pos)
+        stats.uops_from_ic += cycle.uops
+        r.flow.push(cycle.uops)
+        for cause, cycles in cycle.penalties.items():
+            stats.add_penalty(cause, cycles)
+
+        finalized = False
+        while r.si < len(r.steps) and r.pos > r.steps[r.si].last_record:
+            self._finalize_step(r)
+            finalized = True
+        # Only switch at an exact step boundary: the build engine may have
+        # overshot into the next step within this fetch cycle, and those
+        # uops were already supplied from the IC.
+        if (
+            finalized
+            and r.si < len(r.steps)
+            and r.pos == r.steps[r.si].first_record
+            and self._can_deliver(r)
+        ):
+            r.delivery = True
+            r.stats.switches_to_delivery += 1
+            r.stats.add_penalty("mode_switch", self.config.mode_switch_penalty)
+
+    def _finalize_step(self, r: _Run) -> None:
+        step = r.steps[r.si]
+        occurrence = list(step.uops[r.consumed:])
+        entry, new_ptr = r.fill.install(
+            step.end_ip, step.end_kind, occurrence, avoid_mask=r.last_mask
+        )
+        r.stats.blocks_built += 1
+
+        if r.cur_entry is not None:
+            if not r.a_done:
+                remaining = occurrence
+                self._transition(r, r.cur_entry, step, remaining, in_build=True)
+            link_entry, link_taken = r.link_info
+            if new_ptr is not None and link_entry is not None:
+                link_entry.set_pointer(link_taken, new_ptr)
+            if new_ptr is not None and r.xibtb_source is not None:
+                # Indirect transitions learn the fill unit's real pointer
+                # (which may name a split prefix) rather than the plain
+                # end-IP payload guessed at transition time.
+                r.xibtb.train(
+                    r.xibtb_source.xb_ip,
+                    (new_ptr.xb_ip, new_ptr.offset),
+                    new_ptr.xb_ip,
+                )
+
+        r.cur_entry = entry
+        r.last_taken = step.taken
+        r.last_in_build = True
+        r.last_mask = new_ptr.mask if new_ptr is not None else 0
+        r.si += 1
+        r.consumed = 0
+        r.a_done = False
+        r.resolved = None
+        r.link_info = (None, False)
+        r.xibtb_source = None
+
+    def _can_deliver(self, r: _Run) -> bool:
+        """Peek whether delivery could resume at steps[si] (no side effects)."""
+        entry = r.cur_entry
+        if entry is None:
+            return False
+        step = r.steps[r.si]
+        remaining = list(step.uops[r.consumed:])
+        kind = entry.end_kind
+        ptr: Optional[XbPointer]
+        if kind is None:
+            ptr = entry.nt_ptr
+        elif kind is InstrKind.COND_BRANCH:
+            ptr = entry.pointer_for(r.last_taken)
+        elif kind is InstrKind.CALL:
+            ptr = entry.taken_ptr
+        elif kind is InstrKind.RETURN:
+            e_call = r.xrsb.peek()
+            ptr = e_call.nt_ptr if e_call is not None else None
+        else:  # indirect
+            predicted = r.xibtb.predict(entry.xb_ip)
+            ptr = (
+                self._resolve_payload_ptr(r, predicted, step, remaining)
+                if predicted is not None else None
+            )
+        shape = self._validate_ptr(ptr, step, remaining)
+        if shape != "full":
+            if shape != "prefix":
+                return False
+        assert ptr is not None
+        expected = (
+            remaining[: ptr.offset][::-1] if shape == "prefix"
+            else remaining[::-1]
+        )
+        return (
+            r.storage.probe(ptr.xb_ip, ptr.mask, ptr.offset, expected)
+            is not None
+        )

@@ -1,0 +1,125 @@
+"""Branch promotion (§3.8, after [Pate98]).
+
+A conditional-ended XB whose 7-bit bias counter saturates (≥ 99.2%
+monotonic) is *promoted*: its branch is treated as unconditional and
+the XB is merged with the usually-following XB into a combined XB,
+``XBcomb``.  Physically, the following XB (XB1) stays where it is and
+XB0's uops are copied in front of it as a (possibly complex) variant
+of XB1 — so XBcomb's identity is XB1's end-IP, and fetching it costs
+no branch prediction, which is where the extra fetch bandwidth comes
+from (Figure 1's "XB w/ promotion" series).
+
+The promoted entry keeps both roles the paper assigns it: its pointers
+still name the non-frequent path (saving a build-mode switch on a
+promotion miss), and its counter keeps gathering statistics so a
+misbehaving promoted branch is de-promoted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.xbc.config import XbcConfig
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb, XbtbEntry, XbVariant
+
+
+class Promoter:
+    """Owns the promotion/de-promotion policy for one simulation."""
+
+    def __init__(
+        self,
+        config: XbcConfig,
+        storage: XbcStorage,
+        xbtb: Xbtb,
+        stats: FrontendStats,
+    ) -> None:
+        self.config = config
+        self.storage = storage
+        self.xbtb = xbtb
+        self.stats = stats
+
+    def on_outcome(self, entry: XbtbEntry, taken: bool) -> None:
+        """Record one execution of the branch ending *entry*'s XB.
+
+        Updates the bias counter, de-promotes a misbehaving promoted
+        branch, and attempts promotion when the counter saturates.
+        Called exactly once per dynamic execution of the branch,
+        regardless of which mode supplied its uops.
+        """
+        entry.bias.update(taken)
+        if entry.promoted is not None:
+            if taken != entry.promoted and entry.bias.misbehaving(
+                entry.promoted, self.config.depromotion_slack
+            ):
+                entry.demote()
+                self.stats.bump("depromotions")
+            return
+        if not self.config.enable_promotion:
+            return
+        if entry.end_kind is not InstrKind.COND_BRANCH:
+            return
+        if entry.bias.promotable:
+            self._try_promote(entry)
+
+    # ------------------------------------------------------------------
+
+    def _try_promote(self, e0: XbtbEntry) -> None:
+        direction = e0.bias.monotone_direction()
+        ptr1 = e0.pointer_for(direction)
+        if ptr1 is None:
+            return
+        e1 = self.xbtb.peek(ptr1.xb_ip)
+        if e1 is None:
+            return
+
+        # Full content of XB0 (its longest live copy).
+        v0 = self._longest_variant(e0)
+        if v0 is None:
+            return
+        uops0 = v0.read(self.storage, e0.xb_ip)
+        if uops0 is None:
+            return
+
+        comb_len = len(uops0) + ptr1.offset
+        if comb_len > self.config.max_xb_uops:
+            self.stats.bump("promotions_skipped_length")
+            return
+
+        v1 = e1.variant_covering(self.storage, ptr1.offset)
+        if v1 is None:
+            return
+        uops1 = v1.read(self.storage, e1.xb_ip)
+        if uops1 is None or len(uops1) < ptr1.offset:
+            return
+        comb = uops0 + uops1[len(uops1) - ptr1.offset :]
+
+        mapping = v1.locate(self.storage, e1.xb_ip)
+        if mapping is None:
+            return
+        mask = self.storage.add_variant(
+            e1.xb_ip, comb, mapping, reuse_len=ptr1.offset, reuse_mask=v1.mask
+        )
+        if mask is None:
+            self.stats.bump("promotions_unplaced")
+            return
+        e1.variants.append(XbVariant(
+            mask, comb_len, self.storage.last_lines
+        ))
+
+        e0.promoted = direction
+        e0.forward_xb_ip = e1.xb_ip
+        e0.forward_len1 = ptr1.offset
+        # The paper drops XB0's original copy to the bottom of the LRU:
+        # it is now reachable through XBcomb.
+        self.storage.age_variant(e0.xb_ip, v0.mask)
+        self.stats.bump("promotions")
+
+    def _longest_variant(self, entry: XbtbEntry) -> Optional[XbVariant]:
+        best: Optional[XbVariant] = None
+        for variant in entry.valid_variants(self.storage):
+            if best is None or variant.length > best.length:
+                best = variant
+        return best

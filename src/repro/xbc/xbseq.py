@@ -1,0 +1,114 @@
+"""Canonical extended-block stream of a trace.
+
+An XB ends on a conditional branch, an indirect branch/call, a return,
+a direct call, or the 16-uop quota (§3.1 and §3.5).  Because the XBC
+identifies an XB by the IP of its *ending* instruction, quota splits
+must be entry-point independent or the structure would re-grow the
+redundancy it exists to remove.  We therefore anchor quota chunking at
+the ending branch and cut backward: the last chunk is the maximal
+suffix of at most 16 uops, the chunk before it ends immediately
+upstream, and so on.  Any dynamic entry into the run then lands inside
+the same canonical chunks regardless of where the run was entered.
+
+Precomputing this stream once per trace gives every XBC simulation the
+ground truth to verify its XBTB pointers against, and pins fill-unit
+and delivery-mode views of XB identity to one definition.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.isa.instruction import InstrKind
+from repro.isa.uop import uops_of
+from repro.trace.record import Trace
+
+
+class XbStep(NamedTuple):
+    """One dynamic occurrence of an extended block.
+
+    ``uops`` holds exactly the uops executed this occurrence, from the
+    entry point to the ending instruction inclusive — i.e. the last
+    ``len(uops)`` uops of the (possibly longer) stored XB.  ``end_kind``
+    is ``None`` for quota-split blocks (single fall-through successor).
+    """
+
+    end_ip: int
+    end_kind: Optional[InstrKind]
+    uops: Tuple[int, ...]
+    taken: bool
+    next_ip: int
+    first_record: int
+    last_record: int
+
+    @property
+    def entry_offset(self) -> int:
+        """OFFSET of this occurrence: uops counted back from the end."""
+        return len(self.uops)
+
+
+#: XB-ending kinds, precomputed: the property chain is hot in the
+#: one-pass-per-trace stream builder.
+_XB_ENDERS = frozenset(kind for kind in InstrKind if kind.ends_xb)
+
+
+def build_xb_stream(trace: Trace, quota: int = 16) -> List[XbStep]:
+    """Partition a trace into its canonical XB occurrences."""
+    records = trace.records
+    steps: List[XbStep] = []
+    run: List[int] = []
+    for index, record in enumerate(records):
+        run.append(index)
+        if record.instr.kind in _XB_ENDERS:
+            _chunk_run(records, run, quota, steps)
+            run = []
+    if run:
+        # Trace ended mid-run (budget expiry): close it as a quota block.
+        _chunk_run(records, run, quota, steps)
+    return steps
+
+
+def _chunk_run(records, run: List[int], quota: int, steps: List[XbStep]) -> None:
+    """Backward-chunk one branch-free run and append its steps in order."""
+    # Walk backward accumulating whole instructions into <=quota chunks.
+    chunks: List[List[int]] = []
+    current: List[int] = []
+    current_uops = 0
+    for index in reversed(run):
+        n = records[index].instr.num_uops
+        if current and current_uops + n > quota:
+            current.reverse()
+            chunks.append(current)
+            current = []
+            current_uops = 0
+        current.append(index)
+        current_uops += n
+    current.reverse()
+    chunks.append(current)
+    chunks.reverse()
+
+    last_chunk = len(chunks) - 1
+    for chunk_pos, chunk in enumerate(chunks):
+        end_index = chunk[-1]
+        end_record = records[end_index]
+        uops: List[int] = []
+        for index in chunk:
+            instr = records[index].instr
+            uops.extend(uops_of(instr.ip, instr.num_uops))
+        if chunk_pos == last_chunk and end_record.instr.kind in _XB_ENDERS:
+            end_kind: Optional[InstrKind] = end_record.instr.kind
+            taken = end_record.taken
+        else:
+            end_kind = None  # quota split: fall-through successor
+            taken = False
+        steps.append(
+            XbStep(
+                end_ip=end_record.ip,
+                end_kind=end_kind,
+                uops=tuple(uops),
+                taken=taken,
+                next_ip=end_record.next_ip,
+                first_record=chunk[0],
+                last_record=end_index,
+            )
+        )

@@ -1,0 +1,69 @@
+"""Tests for the 7-bit promotion bias counter."""
+
+import pytest
+
+from repro.branch.bias import BIAS_MAX, BiasCounter
+
+
+def test_starts_unpromotable():
+    assert not BiasCounter().promotable
+
+
+def test_saturates_high():
+    c = BiasCounter()
+    for _ in range(300):
+        c.update(True)
+    assert c.value == BIAS_MAX
+    assert c.promotable_taken
+    assert c.promotable
+    assert c.monotone_direction() is True
+
+
+def test_saturates_low():
+    c = BiasCounter()
+    for _ in range(300):
+        c.update(False)
+    assert c.value == 0
+    assert c.promotable_not_taken
+    assert c.monotone_direction() is False
+
+
+def test_threshold_is_at_one_step_from_rail():
+    c = BiasCounter(initial=2)
+    assert not c.promotable_not_taken
+    c.update(False)  # -> 1
+    assert c.promotable_not_taken
+
+
+def test_mixed_stream_never_promotes():
+    c = BiasCounter()
+    for i in range(500):
+        c.update(i % 2 == 0)
+    assert not c.promotable
+
+
+def test_misbehaving_detection():
+    c = BiasCounter()
+    for _ in range(200):
+        c.update(True)
+    assert not c.misbehaving(promoted_taken=True, slack=16)
+    for _ in range(17):
+        c.update(False)
+    assert c.misbehaving(promoted_taken=True, slack=16)
+
+
+def test_misbehaving_not_taken_direction():
+    c = BiasCounter()
+    for _ in range(200):
+        c.update(False)
+    assert not c.misbehaving(promoted_taken=False, slack=8)
+    for _ in range(9):
+        c.update(True)
+    assert c.misbehaving(promoted_taken=False, slack=8)
+
+
+def test_initial_validation():
+    with pytest.raises(ValueError):
+        BiasCounter(initial=-1)
+    with pytest.raises(ValueError):
+        BiasCounter(initial=BIAS_MAX + 1)

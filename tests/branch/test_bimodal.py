@@ -1,0 +1,47 @@
+"""Tests for the bimodal predictor."""
+
+import pytest
+
+from repro.branch.bimodal import BimodalPredictor
+
+
+def test_learns_bias():
+    p = BimodalPredictor(table_entries=256)
+    for _ in range(10):
+        p.update(0x40, False)
+    assert p.predict(0x40) is False
+
+
+def test_two_bit_hysteresis():
+    p = BimodalPredictor(table_entries=256)
+    for _ in range(10):
+        p.update(0x40, True)
+    # One contrary outcome must not flip a saturated counter.
+    p.update(0x40, False)
+    assert p.predict(0x40) is True
+    p.update(0x40, False)
+    p.update(0x40, False)
+    assert p.predict(0x40) is False
+
+
+def test_independent_addresses():
+    p = BimodalPredictor(table_entries=256)
+    for _ in range(10):
+        p.update(0x40, True)
+        p.update(0x42, False)
+    assert p.predict(0x40) is True
+    assert p.predict(0x42) is False
+
+
+def test_accuracy_counter():
+    p = BimodalPredictor(table_entries=64)
+    for _ in range(100):
+        p.update(0x10, True)
+    assert p.predictions == 100
+    assert p.accuracy > 0.95
+    assert BimodalPredictor().accuracy == 1.0
+
+
+def test_table_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        BimodalPredictor(table_entries=100)

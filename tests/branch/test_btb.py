@@ -1,0 +1,54 @@
+"""Tests for the branch target buffer."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+
+
+def test_install_then_lookup():
+    btb = BranchTargetBuffer(entries=64, assoc=4)
+    btb.install(0x100, 0x500)
+    assert btb.lookup(0x100) == 0x500
+
+
+def test_miss_returns_none():
+    btb = BranchTargetBuffer(entries=64, assoc=4)
+    assert btb.lookup(0x100) is None
+
+
+def test_reinstall_updates_target():
+    btb = BranchTargetBuffer(entries=64, assoc=4)
+    btb.install(0x100, 0x500)
+    btb.install(0x100, 0x700)
+    assert btb.lookup(0x100) == 0x700
+
+
+def test_lru_eviction_within_set():
+    btb = BranchTargetBuffer(entries=8, assoc=2)  # 4 sets
+    sets = 4
+    # Three branches mapping to the same set; assoc 2 evicts the LRU one.
+    a, b, c = 0x100, 0x100 + 2 * sets, 0x100 + 4 * sets
+    btb.install(a, 1)
+    btb.install(b, 2)
+    btb.lookup(a)        # refresh a; b becomes LRU
+    btb.install(c, 3)
+    assert btb.lookup(a) == 1
+    assert btb.lookup(b) is None
+    assert btb.lookup(c) == 3
+
+
+def test_hit_rate():
+    btb = BranchTargetBuffer(entries=64, assoc=4)
+    assert btb.hit_rate == 1.0
+    btb.lookup(0x10)
+    assert btb.hit_rate == 0.0
+    btb.install(0x10, 0x20)
+    btb.lookup(0x10)
+    assert btb.hit_rate == 0.5
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=10, assoc=4)  # not divisible
+    with pytest.raises(ValueError):
+        BranchTargetBuffer(entries=24, assoc=2)  # 12 sets: not a power of 2

@@ -1,0 +1,93 @@
+"""Tests for the gshare predictor."""
+
+import pytest
+
+from repro.branch.gshare import GsharePredictor
+
+
+class TestLearning:
+    def test_learns_heavy_bias(self):
+        p = GsharePredictor(history_bits=8, table_entries=1024)
+        for _ in range(200):
+            p.update(0x100, True)
+        assert p.predict(0x100) is True
+
+    def test_learns_not_taken_bias(self):
+        p = GsharePredictor(history_bits=8, table_entries=1024)
+        for _ in range(200):
+            p.update(0x100, False)
+        assert p.predict(0x100) is False
+
+    def test_learns_alternating_pattern_via_history(self):
+        # A strict alternation is perfectly predictable with history.
+        p = GsharePredictor(history_bits=8, table_entries=4096)
+        outcome = True
+        for _ in range(400):
+            p.update(0x100, outcome)
+            outcome = not outcome
+        p.reset_stats()
+        correct = 0
+        for _ in range(100):
+            correct += p.update(0x100, outcome)
+            outcome = not outcome
+        assert correct >= 95
+
+    def test_learns_loop_exit_pattern(self):
+        # T T T N repeating: learnable with >= 4 history bits.
+        p = GsharePredictor(history_bits=8, table_entries=4096)
+        pattern = [True, True, True, False]
+        for i in range(800):
+            p.update(0x200, pattern[i % 4])
+        p.reset_stats()
+        for i in range(100):
+            p.update(0x200, pattern[i % 4])
+        assert p.accuracy > 0.9
+
+
+class TestAccounting:
+    def test_update_returns_correctness(self):
+        p = GsharePredictor(history_bits=4, table_entries=64)
+        predicted = p.predict(0x10)
+        assert p.update(0x10, predicted) is True
+
+    def test_accuracy_counters(self):
+        p = GsharePredictor(history_bits=4, table_entries=64)
+        for _ in range(50):
+            p.update(0x10, True)
+        assert p.predictions == 50
+        assert 0.9 <= p.accuracy <= 1.0
+
+    def test_reset_stats_keeps_training(self):
+        p = GsharePredictor(history_bits=4, table_entries=64)
+        for _ in range(100):
+            p.update(0x10, True)
+        p.reset_stats()
+        assert p.predictions == 0
+        assert p.accuracy == 1.0
+        assert p.predict(0x10) is True
+
+    def test_accuracy_before_predictions(self):
+        assert GsharePredictor().accuracy == 1.0
+
+    def test_history_register_bounded(self):
+        p = GsharePredictor(history_bits=4, table_entries=64)
+        for i in range(100):
+            p.update(i, True)
+        assert p.history < 16
+
+
+class TestValidation:
+    def test_non_power_of_two_table_rejected(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(table_entries=1000)
+
+    @pytest.mark.parametrize("bits", [-1, 31])
+    def test_history_bits_range(self, bits):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=bits)
+
+    def test_zero_history_degrades_to_bimodal_indexing(self):
+        p = GsharePredictor(history_bits=0, table_entries=64)
+        for _ in range(10):
+            p.update(0x10, True)
+        assert p.predict(0x10) is True

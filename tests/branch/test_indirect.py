@@ -1,0 +1,59 @@
+"""Tests for the indirect-target predictor."""
+
+import pytest
+
+from repro.branch.indirect import IndirectPredictor
+
+
+def test_learns_stable_target():
+    p = IndirectPredictor(table_entries=256, history_bits=0)
+    for _ in range(5):
+        p.update(0x100, 0x900, 0x900)
+    assert p.predict(0x100) == 0x900
+
+
+def test_first_prediction_is_none():
+    p = IndirectPredictor(table_entries=256)
+    assert p.predict(0x100) is None
+
+
+def test_update_returns_correctness():
+    p = IndirectPredictor(table_entries=256, history_bits=0)
+    assert p.update(0x100, 0x900, 0x900) is False  # untrained
+    assert p.update(0x100, 0x900, 0x900) is True
+
+
+def test_history_separates_contexts():
+    # With history, the same branch alternating between two targets in a
+    # fixed rhythm becomes predictable.
+    p = IndirectPredictor(table_entries=1024, history_bits=8)
+    targets = [0x900, 0xA00]
+    for i in range(600):
+        t = targets[i % 2]
+        p.update(0x100, t, t)
+    correct = 0
+    for i in range(100):
+        t = targets[i % 2]
+        correct += p.update(0x100, t, t)
+    assert correct > 80
+
+
+def test_accuracy_counters():
+    p = IndirectPredictor(table_entries=256, history_bits=0)
+    p.update(0x100, 0x900, 0x900)
+    p.update(0x100, 0x900, 0x900)
+    assert p.predictions == 2
+    assert 0.0 < p.accuracy <= 1.0
+    assert IndirectPredictor().accuracy == 1.0
+
+
+def test_generic_payloads():
+    p = IndirectPredictor(table_entries=64, history_bits=0)
+    payload = (0x900, 7)
+    p.update(0x100, payload, 0x900)
+    assert p.predict(0x100) == payload
+
+
+def test_table_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        IndirectPredictor(table_entries=100)

@@ -1,0 +1,72 @@
+"""Tests for the return stack buffer."""
+
+import pytest
+
+from repro.branch.rsb import ReturnStackBuffer
+
+
+def test_lifo_order():
+    rsb = ReturnStackBuffer(depth=8)
+    rsb.push(1)
+    rsb.push(2)
+    rsb.push(3)
+    assert rsb.pop() == 3
+    assert rsb.pop() == 2
+    assert rsb.pop() == 1
+
+
+def test_underflow_returns_none_and_counts():
+    rsb = ReturnStackBuffer(depth=4)
+    assert rsb.pop() is None
+    assert rsb.underflows == 1
+
+
+def test_overflow_overwrites_oldest():
+    rsb = ReturnStackBuffer(depth=3)
+    for value in (1, 2, 3, 4):
+        rsb.push(value)
+    assert rsb.overflows == 1
+    assert rsb.pop() == 4
+    assert rsb.pop() == 3
+    assert rsb.pop() == 2
+    assert rsb.pop() is None  # 1 was overwritten
+
+
+def test_peek_does_not_pop():
+    rsb = ReturnStackBuffer(depth=4)
+    rsb.push(42)
+    assert rsb.peek() == 42
+    assert len(rsb) == 1
+    assert rsb.pop() == 42
+    assert rsb.peek() is None
+
+
+def test_clear():
+    rsb = ReturnStackBuffer(depth=4)
+    rsb.push(1)
+    rsb.push(2)
+    rsb.clear()
+    assert len(rsb) == 0
+    assert rsb.pop() is None
+
+
+def test_counters():
+    rsb = ReturnStackBuffer(depth=2)
+    rsb.push(1)
+    rsb.pop()
+    assert rsb.pushes == 1
+    assert rsb.pops == 1
+
+
+def test_wraparound_consistency():
+    rsb = ReturnStackBuffer(depth=2)
+    for cycle in range(10):
+        rsb.push(cycle * 2)
+        rsb.push(cycle * 2 + 1)
+        assert rsb.pop() == cycle * 2 + 1
+        assert rsb.pop() == cycle * 2
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        ReturnStackBuffer(depth=0)

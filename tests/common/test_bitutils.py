@@ -1,0 +1,59 @@
+"""Tests for bit-manipulation helpers."""
+
+import pytest
+
+from repro.common.bitutils import (
+    bit_clear,
+    bit_set,
+    bit_test,
+    iter_bits,
+    log2_exact,
+    mask_of,
+    popcount,
+)
+
+
+def test_bit_set_and_test():
+    mask = 0
+    mask = bit_set(mask, 0)
+    mask = bit_set(mask, 3)
+    assert bit_test(mask, 0)
+    assert bit_test(mask, 3)
+    assert not bit_test(mask, 1)
+    assert mask == 0b1001
+
+
+def test_bit_set_idempotent():
+    assert bit_set(0b1001, 3) == 0b1001
+
+
+def test_bit_clear():
+    assert bit_clear(0b1011, 1) == 0b1001
+    assert bit_clear(0b1001, 2) == 0b1001  # clearing unset bit is a no-op
+
+
+def test_iter_bits():
+    assert list(iter_bits(0)) == []
+    assert list(iter_bits(0b1011)) == [0, 1, 3]
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1111) == 4
+    assert popcount(1 << 40) == 1
+
+
+def test_mask_of_roundtrip():
+    positions = [0, 2, 5]
+    assert list(iter_bits(mask_of(positions))) == positions
+
+
+def test_log2_exact():
+    assert log2_exact(1) == 0
+    assert log2_exact(1024) == 10
+
+
+@pytest.mark.parametrize("bad", [0, -4, 3, 12, 1000])
+def test_log2_exact_rejects_non_powers(bad):
+    with pytest.raises(ValueError):
+        log2_exact(bad)

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    GenerationError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigError, GenerationError, SimulationError, TraceFormatError]
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_leaves_are_distinct():
+    assert not issubclass(ConfigError, SimulationError)
+    assert not issubclass(SimulationError, ConfigError)
+
+
+def test_catchable_as_exception():
+    with pytest.raises(Exception, match="specific message"):
+        raise GenerationError("specific message")

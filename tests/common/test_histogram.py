@@ -1,0 +1,105 @@
+"""Tests for Histogram and RunningStats."""
+
+import math
+
+import pytest
+
+from repro.common.histogram import Histogram, RunningStats
+
+
+class TestHistogram:
+    def test_empty(self):
+        h = Histogram()
+        assert h.total == 0
+        assert h.mean == 0.0
+        assert h.fraction_of(3) == 0.0
+        assert h.count_of(3) == 0
+
+    def test_add_and_mean(self):
+        h = Histogram()
+        h.add(2)
+        h.add(4, count=3)
+        assert h.total == 4
+        assert h.mean == pytest.approx((2 + 12) / 4)
+
+    def test_add_nonpositive_count_ignored(self):
+        h = Histogram()
+        h.add(5, count=0)
+        h.add(5, count=-2)
+        assert h.total == 0
+
+    def test_update_iterable(self):
+        h = Histogram()
+        h.update([1, 1, 2, 3])
+        assert h.count_of(1) == 2
+        assert h.items() == [(1, 2), (2, 1), (3, 1)]
+
+    def test_fraction(self):
+        h = Histogram()
+        h.update([1, 1, 2, 2])
+        assert h.fraction_of(1) == 0.5
+
+    def test_percentile(self):
+        h = Histogram()
+        h.update(range(1, 101))
+        assert h.percentile(0.5) == 50
+        assert h.percentile(1.0) == 100
+        assert h.percentile(0.01) == 1
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+    def test_percentile_bad_fraction_raises(self):
+        h = Histogram()
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_merged_with(self):
+        a = Histogram()
+        a.update([1, 2])
+        b = Histogram()
+        b.update([2, 3])
+        merged = a.merged_with(b)
+        assert merged.total == 4
+        assert merged.count_of(2) == 2
+        # originals untouched
+        assert a.total == 2 and b.total == 2
+
+    def test_render_contains_rows(self):
+        h = Histogram()
+        h.update([1, 1, 5])
+        text = h.render(label="demo")
+        assert "demo" in text
+        assert "mean=" in text
+        assert "#" in text
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+        assert s.stddev == 0.0
+
+    def test_matches_closed_form(self):
+        values = [1.0, 2.0, 3.0, 4.0, 10.0]
+        s = RunningStats()
+        for v in values:
+            s.add(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert s.mean == pytest.approx(mean)
+        assert s.variance == pytest.approx(var)
+        assert s.stddev == pytest.approx(math.sqrt(var))
+        assert s.min_value == 1.0
+        assert s.max_value == 10.0
+
+    def test_count(self):
+        s = RunningStats()
+        for v in range(100):
+            s.add(float(v))
+        assert s.count == 100

@@ -1,0 +1,88 @@
+"""Tests for the deterministic RNG helpers."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(50)] == [b.random() for _ in range(50)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(42).fork(7)
+        b = DeterministicRng(42).fork(7)
+        assert [a.randint(0, 100) for _ in range(20)] == [
+            b.randint(0, 100) for _ in range(20)
+        ]
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent1 = DeterministicRng(5)
+        parent1.random()  # consume some of the parent stream
+        parent2 = DeterministicRng(5)
+        assert parent1.fork(3).random() == parent2.fork(3).random()
+
+    def test_forks_with_different_salts_differ(self):
+        parent = DeterministicRng(5)
+        assert parent.fork(1).random() != parent.fork(2).random()
+
+
+class TestGeometric:
+    def test_respects_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.geometric(5.0, lo=2, hi=9) for _ in range(500)]
+        assert min(values) >= 2
+        assert max(values) <= 9
+
+    def test_mean_close_to_target(self):
+        rng = DeterministicRng(3)
+        values = [rng.geometric(8.0, lo=1, hi=10_000) for _ in range(20_000)]
+        mean = sum(values) / len(values)
+        assert 7.0 < mean < 9.0
+
+    def test_mean_at_or_below_lo_returns_lo(self):
+        rng = DeterministicRng(3)
+        assert rng.geometric(1.0, lo=3) == 3
+        assert rng.geometric(2.9, lo=3) == 3
+
+
+class TestChoices:
+    def test_weighted_choice_respects_weights(self):
+        rng = DeterministicRng(9)
+        picks = [
+            rng.weighted_choice([("a", 0.9), ("b", 0.1)]) for _ in range(2000)
+        ]
+        assert picks.count("a") > 1500
+
+    def test_weighted_choice_single_item(self):
+        rng = DeterministicRng(9)
+        assert rng.weighted_choice([("only", 1.0)]) == "only"
+
+    def test_zipf_weights_sum_to_one(self):
+        rng = DeterministicRng(9)
+        weights = rng.zipf_weights(10, skew=1.2)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert weights == sorted(weights, reverse=True)
+
+    def test_zipf_choice_prefers_head(self):
+        rng = DeterministicRng(9)
+        picks = [rng.zipf_choice(list(range(8))) for _ in range(4000)]
+        assert picks.count(0) > picks.count(7)
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng(1)
+        picked = rng.sample(list(range(20)), 5)
+        assert len(set(picked)) == 5
+
+    def test_shuffle_in_place_preserves_elements(self):
+        rng = DeterministicRng(1)
+        items = list(range(30))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(30))

@@ -1,0 +1,33 @@
+"""Tests for ASCII table rendering."""
+
+from repro.common.tables import format_table
+
+
+def test_basic_layout():
+    text = format_table(["a", "b"], [[1, 2], [30, 40]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "-+-" in lines[1]
+    assert "30" in lines[2] or "30" in lines[3]
+
+
+def test_title_prepended():
+    text = format_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[1.23456]])
+    assert "1.235" in text
+
+
+def test_column_width_adapts():
+    text = format_table(["short"], [["a-very-long-cell"]])
+    header, sep, row = text.splitlines()
+    assert len(header) == len(row)
+    assert len(sep) == len(row)
+
+
+def test_empty_rows():
+    text = format_table(["a"], [])
+    assert "a" in text

@@ -1,0 +1,72 @@
+"""Shared fixtures.
+
+Trace generation is the expensive part of most tests, so the fixtures
+here are session-scoped: one small program and trace per suite, shared
+read-only by every test that needs realistic input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.frontend.config import FrontendConfig
+from repro.program.generator import generate_program
+from repro.program.profiles import WorkloadProfile, profile_for_suite
+from repro.trace.executor import execute_program
+
+
+def small_profile(suite: str = "specint") -> WorkloadProfile:
+    """A scaled-down suite profile for fast generation."""
+    return replace(profile_for_suite(suite), num_functions=18)
+
+
+@pytest.fixture(scope="session")
+def tiny_profile() -> WorkloadProfile:
+    """The smallest structurally interesting profile."""
+    return replace(
+        profile_for_suite("specint"),
+        num_functions=8,
+        mean_blocks_per_function=8.0,
+        max_blocks_per_function=16,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_program(tiny_profile):
+    """One deterministic small program."""
+    return generate_program(tiny_profile, seed=7, name="small", suite="specint")
+
+
+@pytest.fixture(scope="session")
+def small_trace(small_program):
+    """A 30k-uop trace of the small program."""
+    return execute_program(small_program, max_uops=30_000)
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A 60k-uop specint-like trace (for frontend behaviour tests)."""
+    program = generate_program(
+        small_profile("specint"), seed=11, name="medium", suite="specint"
+    )
+    return execute_program(program, max_uops=60_000)
+
+
+@pytest.fixture(scope="session")
+def suite_traces():
+    """One modest trace per suite, keyed by suite name."""
+    traces = {}
+    for i, suite in enumerate(("specint", "sysmark", "games")):
+        program = generate_program(
+            small_profile(suite), seed=100 + i, name=f"{suite}-t", suite=suite
+        )
+        traces[suite] = execute_program(program, max_uops=50_000)
+    return traces
+
+
+@pytest.fixture()
+def fe_config() -> FrontendConfig:
+    """Default frontend config (fresh per test: it is frozen anyway)."""
+    return FrontendConfig()

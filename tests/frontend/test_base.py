@@ -1,0 +1,50 @@
+"""Tests for the uop-flow (queue + renamer) helper."""
+
+from repro.frontend.base import UopFlow
+from repro.frontend.config import FrontendConfig
+from repro.frontend.metrics import FrontendStats
+
+
+def make_flow(depth=48, width=8):
+    config = FrontendConfig(uop_queue_depth=depth, renamer_width=width)
+    stats = FrontendStats()
+    return UopFlow(config, stats), stats
+
+
+def test_drain_limited_by_renamer_width():
+    flow, stats = make_flow(width=8)
+    flow.push(20)
+    assert flow.drain() == 8
+    assert flow.occupancy == 12
+    assert stats.retired_uops == 8
+
+
+def test_drain_limited_by_occupancy():
+    flow, stats = make_flow(width=8)
+    flow.push(3)
+    assert flow.drain() == 3
+    assert flow.occupancy == 0
+
+
+def test_can_accept_backpressure():
+    flow, _ = make_flow(depth=32)
+    flow.push(20)
+    assert flow.can_accept(12)
+    assert not flow.can_accept(13)
+
+
+def test_drain_all_counts_cycles():
+    flow, stats = make_flow(depth=48, width=8)
+    flow.push(25)
+    flow.drain_all()
+    assert flow.occupancy == 0
+    assert stats.retired_uops == 25
+    assert stats.cycles == 4  # ceil(25/8) renamer cycles
+
+
+def test_retired_accumulates():
+    flow, stats = make_flow()
+    for _ in range(5):
+        flow.push(8)
+        flow.drain()
+    assert stats.retired_uops == 40

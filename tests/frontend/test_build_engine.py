@@ -1,0 +1,175 @@
+"""Tests for the shared build-mode fetch engine."""
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.gshare import GsharePredictor
+from repro.branch.indirect import IndirectPredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.frontend.build_engine import BuildEngine
+from repro.frontend.config import FrontendConfig
+from repro.frontend.icache import InstructionCache
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr
+
+
+def alu(ip, size=2, uops=1):
+    return Instruction(ip=ip, size=size, kind=InstrKind.ALU, num_uops=uops)
+
+
+def rec(instr, taken=False, next_ip=None):
+    return DynInstr(instr=instr, taken=taken, next_ip=next_ip or instr.next_ip)
+
+
+def straight_line(start, count, size=2):
+    records = []
+    ip = start
+    for _ in range(count):
+        instr = alu(ip, size=size)
+        records.append(rec(instr))
+        ip += size
+    return records
+
+
+def make_engine(config=None):
+    config = config or FrontendConfig()
+    stats = FrontendStats()
+    engine = BuildEngine(
+        config=config,
+        stats=stats,
+        icache=InstructionCache(
+            config.ic_size_bytes, config.ic_line_bytes, config.ic_assoc
+        ),
+        cond_predictor=GsharePredictor(8, 1024),
+        btb=BranchTargetBuffer(64, 4),
+        rsb=ReturnStackBuffer(8),
+        indirect=IndirectPredictor(64, 4),
+    )
+    return engine, stats
+
+
+class TestFetchLimits:
+    def test_decode_width_limit(self):
+        engine, _ = make_engine(FrontendConfig(decode_width=4))
+        records = straight_line(0x1000, 12)
+        pos, cycle = engine.fetch_cycle(records, 0)
+        assert pos == 4
+        assert len(cycle.records) == 4
+
+    def test_fetch_block_boundary(self):
+        engine, _ = make_engine(FrontendConfig(decode_width=8))
+        # 2-byte instructions from 0x1000: eight fit in the 16-byte window.
+        records = straight_line(0x1000, 16)
+        pos, cycle = engine.fetch_cycle(records, 0)
+        assert pos == 8
+
+    def test_unaligned_start_shortens_window(self):
+        engine, _ = make_engine(FrontendConfig(decode_width=8))
+        records = straight_line(0x100A, 16)
+        pos, cycle = engine.fetch_cycle(records, 0)
+        assert pos == 3  # 0x100A, 0x100C, 0x100E fit before 0x1010
+
+    def test_first_ic_access_misses(self):
+        engine, stats = make_engine()
+        records = straight_line(0x1000, 4)
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert cycle.penalties.get("ic_miss") == engine.config.ic_miss_latency
+        assert stats.ic_misses == 1
+        # second access to the same line hits
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert "ic_miss" not in cycle.penalties
+
+
+class TestBranchHandling:
+    def _cond_record(self, taken):
+        instr = Instruction(
+            ip=0x1000, size=2, kind=InstrKind.COND_BRANCH,
+            num_uops=1, target=0x2000,
+        )
+        return rec(instr, taken=taken, next_ip=0x2000 if taken else None)
+
+    def test_taken_branch_ends_cycle(self):
+        engine, _ = make_engine()
+        records = [self._cond_record(True)] + straight_line(0x2000, 4)
+        # Train the predictor so the branch predicts taken.
+        for _ in range(8):
+            engine.cond_predictor.update(0x1000, True)
+        pos, cycle = engine.fetch_cycle(records, 0)
+        assert pos == 1
+
+    def test_not_taken_branch_continues(self):
+        engine, _ = make_engine()
+        records = [self._cond_record(False)] + straight_line(0x1002, 4)
+        for _ in range(8):
+            engine.cond_predictor.update(0x1000, False)
+        pos, cycle = engine.fetch_cycle(records, 0)
+        assert pos > 1
+
+    def test_mispredict_charges_penalty(self):
+        engine, stats = make_engine()
+        for _ in range(8):
+            engine.cond_predictor.update(0x1000, False)
+        records = [self._cond_record(True)] + straight_line(0x2000, 2)
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert cycle.penalties.get("mispredict") == engine.config.mispredict_penalty
+        assert stats.cond_mispredicts == 1
+
+    def test_btb_miss_then_hit_on_jump(self):
+        engine, _ = make_engine()
+        jump = Instruction(ip=0x1000, size=2, kind=InstrKind.JUMP,
+                           num_uops=1, target=0x2000)
+        records = [rec(jump, taken=True, next_ip=0x2000)]
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert cycle.penalties.get("btb_miss") == engine.config.btb_miss_penalty
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert cycle.penalties.get("redirect") == engine.config.taken_branch_bubble
+
+    def test_call_pushes_return_address(self):
+        engine, _ = make_engine()
+        call = Instruction(ip=0x1000, size=3, kind=InstrKind.CALL,
+                           num_uops=2, target=0x2000)
+        engine.fetch_cycle([rec(call, taken=True, next_ip=0x2000)], 0)
+        assert engine.rsb.peek() == 0x1003
+
+    def test_return_predicted_by_rsb(self):
+        engine, stats = make_engine()
+        engine.rsb.push(0x1003)
+        ret = Instruction(ip=0x3000, size=1, kind=InstrKind.RETURN, num_uops=2)
+        _pos, cycle = engine.fetch_cycle([rec(ret, taken=True, next_ip=0x1003)], 0)
+        assert stats.return_mispredicts == 0
+        assert "mispredict" not in cycle.penalties
+
+    def test_return_mispredict_on_empty_stack(self):
+        engine, stats = make_engine()
+        ret = Instruction(ip=0x3000, size=1, kind=InstrKind.RETURN, num_uops=2)
+        _pos, cycle = engine.fetch_cycle([rec(ret, taken=True, next_ip=0x1003)], 0)
+        assert stats.return_mispredicts == 1
+
+    def test_indirect_jump_trains_predictor(self):
+        engine, stats = make_engine()
+        ind = Instruction(ip=0x1000, size=2, kind=InstrKind.INDIRECT_JUMP,
+                          num_uops=1)
+        records = [rec(ind, taken=True, next_ip=0x4000)]
+        engine.fetch_cycle(records, 0)
+        assert stats.indirect_mispredicts == 1  # cold
+        engine.fetch_cycle(records, 0)
+        assert stats.indirect_mispredicts == 1  # learned
+
+
+class TestUopAccounting:
+    def test_cycle_uops_match_records(self):
+        engine, _ = make_engine()
+        records = straight_line(0x1000, 4)
+        _pos, cycle = engine.fetch_cycle(records, 0)
+        assert cycle.uops == sum(r.instr.num_uops for r in cycle.records)
+
+    def test_full_trace_supplied_once(self):
+        engine, _ = make_engine()
+        records = straight_line(0x1000, 40)
+        pos = 0
+        total = 0
+        while pos < len(records):
+            pos, cycle = engine.fetch_cycle(records, pos)
+            total += cycle.uops
+        assert total == sum(r.instr.num_uops for r in records)

@@ -1,0 +1,40 @@
+"""Tests for frontend configuration validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.frontend.config import FrontendConfig
+
+
+def test_default_validates():
+    FrontendConfig().validate()
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("renamer_width", 0),
+        ("uop_queue_depth", 8),
+        ("decode_width", 0),
+        ("fetch_block_bytes", 24),       # not a power of two
+        ("ic_line_bytes", 48),           # not a power of two
+        ("fetch_block_bytes", 128),      # exceeds the 64-byte line
+        ("ic_size_bytes", 1000),         # not divisible by line*assoc
+        ("ic_miss_latency", -1),
+        ("mispredict_penalty", -2),
+        ("mode_switch_penalty", -1),
+        ("taken_branch_bubble", -1),
+        ("btb_miss_penalty", -1),
+    ],
+)
+def test_invalid_fields_rejected(field, value):
+    with pytest.raises(ConfigError):
+        replace(FrontendConfig(), **{field: value}).validate()
+
+
+def test_frozen():
+    config = FrontendConfig()
+    with pytest.raises(Exception):
+        config.renamer_width = 4  # type: ignore[misc]

@@ -1,0 +1,67 @@
+"""Tests for the baseline IC frontend."""
+
+from repro.frontend.config import FrontendConfig
+from repro.frontend.ic_frontend import ICFrontend
+
+
+def test_all_uops_come_from_ic(medium_trace):
+    stats = ICFrontend(FrontendConfig()).run(medium_trace)
+    assert stats.uops_from_ic == medium_trace.total_uops
+    assert stats.uops_from_structure == 0
+    assert stats.uop_miss_rate == 1.0
+
+
+def test_everything_retires(medium_trace):
+    stats = ICFrontend(FrontendConfig()).run(medium_trace)
+    assert stats.retired_uops == medium_trace.total_uops
+
+
+def test_bandwidth_bounded_by_decode(medium_trace):
+    config = FrontendConfig(decode_width=4)
+    stats = ICFrontend(config).run(medium_trace)
+    # 4 instructions/cycle at <= 4 uops each is a hard ceiling; taken
+    # branches and penalties keep the realistic value far below it.
+    assert 0.5 < stats.overall_bandwidth <= 16.0
+
+
+def test_predictions_happen(medium_trace):
+    stats = ICFrontend(FrontendConfig()).run(medium_trace)
+    assert stats.cond_predictions > 0
+    assert 0.5 < stats.cond_accuracy <= 1.0
+
+
+def test_cycles_breakdown(medium_trace):
+    stats = ICFrontend(FrontendConfig()).run(medium_trace)
+    assert stats.delivery_cycles == 0
+    assert stats.build_cycles > 0
+    assert stats.cycles >= stats.build_cycles
+
+
+def test_narrower_decode_is_slower(medium_trace):
+    wide = ICFrontend(FrontendConfig(decode_width=8)).run(medium_trace)
+    narrow = ICFrontend(FrontendConfig(decode_width=1)).run(medium_trace)
+    assert narrow.cycles > wide.cycles
+
+
+class TestMultiPort:
+    def test_ports_must_be_positive(self):
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            ICFrontend(FrontendConfig(), ports=0)
+
+    def test_more_ports_more_bandwidth(self, medium_trace):
+        one = ICFrontend(FrontendConfig(), ports=1).run(medium_trace)
+        two = ICFrontend(FrontendConfig(), ports=2).run(medium_trace)
+        assert two.overall_bandwidth > one.overall_bandwidth
+
+    def test_diminishing_returns(self, medium_trace):
+        # The paper's §2.1 point: multi-porting cannot keep scaling.
+        bw = [
+            ICFrontend(FrontendConfig(), ports=p).run(medium_trace).overall_bandwidth
+            for p in (1, 2, 4)
+        ]
+        assert bw[1] - bw[0] > bw[2] - bw[1] > 0
+
+    def test_conservation_with_ports(self, medium_trace):
+        stats = ICFrontend(FrontendConfig(), ports=3).run(medium_trace)
+        assert stats.total_uops == medium_trace.total_uops

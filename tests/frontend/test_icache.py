@@ -1,0 +1,57 @@
+"""Tests for the instruction cache model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.frontend.icache import InstructionCache
+
+
+def test_cold_miss_then_hit():
+    ic = InstructionCache(size_bytes=4096, line_bytes=64, assoc=2)
+    assert ic.access(0x1000) is False
+    assert ic.access(0x1000) is True
+    assert ic.access(0x103F) is True   # same line
+    assert ic.access(0x1040) is False  # next line
+
+
+def test_lru_eviction():
+    ic = InstructionCache(size_bytes=256, line_bytes=64, assoc=2)  # 2 sets
+    stride = 2 * 64  # same-set addresses
+    a, b, c = 0x0, stride, 2 * stride
+    ic.access(a)
+    ic.access(b)
+    ic.access(a)      # refresh a
+    ic.access(c)      # evicts b
+    assert ic.contains(a)
+    assert not ic.contains(b)
+    assert ic.contains(c)
+
+
+def test_hit_rate():
+    ic = InstructionCache(size_bytes=4096, line_bytes=64, assoc=2)
+    assert ic.hit_rate == 1.0
+    ic.access(0)
+    ic.access(0)
+    assert ic.hit_rate == 0.5
+
+
+def test_contains_has_no_side_effects():
+    ic = InstructionCache(size_bytes=4096, line_bytes=64, assoc=2)
+    assert not ic.contains(0x40)
+    assert ic.lookups == 0
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigError):
+        InstructionCache(size_bytes=1000, line_bytes=64, assoc=4)
+    with pytest.raises(ValueError):
+        # divisible size, but 48 is not a power of two
+        InstructionCache(size_bytes=48 * 4 * 4, line_bytes=48, assoc=4)
+
+
+def test_fills_up_to_capacity():
+    ic = InstructionCache(size_bytes=1024, line_bytes=64, assoc=4)
+    for line in range(16):  # exactly capacity
+        ic.access(line * 64)
+    for line in range(16):
+        assert ic.contains(line * 64)

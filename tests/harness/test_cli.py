@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--traces-per-suite", "1", "--length", "12000"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_fig1(capsys):
+    assert main(["fig1"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "paper" in out
+
+
+def test_fig8(capsys):
+    assert main(["fig8", "--size", "4096"] + FAST) == 0
+    assert "Figure 8" in capsys.readouterr().out
+
+
+def test_fig9(capsys):
+    assert main(["fig9", "--sizes", "2048", "8192"] + FAST) == 0
+    assert "Figure 9" in capsys.readouterr().out
+
+
+def test_fig10(capsys):
+    assert main(["fig10", "--assocs", "1", "2", "--size", "4096"] + FAST) == 0
+    assert "Figure 10" in capsys.readouterr().out
+
+
+def test_claims(capsys):
+    args = ["claims", "--sizes", "2048", "4096",
+            "--reference-size", "2048"] + FAST
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "T2" in out and "T3" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "xbc", "--length", "12000", "--size", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "frontend=xbc" in out
+    assert "uop miss rate" in out
+
+
+def test_run_every_frontend(capsys):
+    for kind in ("ic", "tc", "bbtc"):
+        assert main(["run", kind, "--length", "8000"]) == 0
+
+
+def test_info(capsys):
+    assert main(["info"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "specint" in out and "games" in out
+
+
+def test_suite_filter(capsys):
+    assert main(["fig1", "--suite", "games"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "games" in out
+    assert "sysmark" not in out.replace("sysmark |", "")
+
+
+def test_generate_command(tmp_path, capsys):
+    out = str(tmp_path / "traces")
+    assert main(["generate", "--traces-per-suite", "1",
+                 "--length", "5000", "--out", out]) == 0
+    import os
+    files = sorted(os.listdir(out))
+    assert files == ["games-0.trace", "specint-0.trace", "sysmark-0.trace"]
+    from repro.trace.tracefile import load_trace
+    trace = load_trace(os.path.join(out, "specint-0.trace"))
+    assert trace.total_uops >= 5000
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "--length", "15000"]) == 0
+    out = capsys.readouterr().out
+    assert "redundancy factor" in out
+    assert "XB usage" in out
+    assert "reuse-distance" in out

@@ -1,0 +1,111 @@
+"""Tests for the figure-regeneration experiments (tiny registry)."""
+
+import pytest
+
+from repro.harness.experiments import (
+    format_ablations,
+    format_claims,
+    format_fig1,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    run_ablations,
+    run_claims,
+    run_fig1,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+)
+from repro.harness.registry import default_registry
+from repro.xbc.config import XbcConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    # One short trace per suite keeps the whole module under a minute.
+    return default_registry(traces_per_suite=1, length_uops=25_000)
+
+
+class TestFig1:
+    def test_runs_and_formats(self, tiny_specs):
+        result = run_fig1(tiny_specs)
+        assert set(result.per_suite) == {"specint", "sysmark", "games"}
+        text = format_fig1(result)
+        assert "Figure 1" in text
+        assert "paper" in text
+
+    def test_series_ordering(self, tiny_specs):
+        means = run_fig1(tiny_specs).overall.means()
+        assert means["XB"] >= means["basic block"]
+        assert means["XB w/ promotion"] >= means["XB"]
+        assert means["dual XB"] > means["XB"]
+
+    def test_histogram_mode(self, tiny_specs):
+        text = format_fig1(run_fig1(tiny_specs), histograms=True)
+        assert "length distribution" in text
+
+
+class TestFig8:
+    def test_bandwidths_comparable(self, tiny_specs):
+        rows = run_fig8(tiny_specs, total_uops=4096)
+        assert len(rows) == len(tiny_specs)
+        for row in rows:
+            assert row.tc_bandwidth > 0
+            assert row.xbc_bandwidth > 0
+            assert 0.5 < row.ratio < 2.0  # "negligible difference"
+        text = format_fig8(rows)
+        assert "MEAN" in text
+
+
+class TestFig9:
+    def test_xbc_wins_at_every_size(self, tiny_specs):
+        result = run_fig9(tiny_specs, sizes=(2048, 8192))
+        for size in result.sizes:
+            assert result.xbc_miss[size] < result.tc_miss[size]
+            assert 0.0 < result.reduction(size) < 1.0
+        assert "Figure 9" in format_fig9(result)
+
+    def test_miss_rate_monotone_in_size(self, tiny_specs):
+        result = run_fig9(tiny_specs, sizes=(1024, 8192))
+        assert result.tc_miss[8192] < result.tc_miss[1024]
+        assert result.xbc_miss[8192] < result.xbc_miss[1024]
+
+
+class TestFig10:
+    def test_more_assoc_fewer_misses(self, tiny_specs):
+        result = run_fig10(tiny_specs, assocs=(1, 4), total_uops=8192)
+        assert result.tc_miss[4] <= result.tc_miss[1]
+        assert result.xbc_miss[4] <= result.xbc_miss[1]
+        assert result.reduction_from_dm("tc", 4) >= 0.0
+        assert "Figure 10" in format_fig10(result)
+
+
+class TestClaims:
+    def test_claims_computed(self, tiny_specs):
+        result = run_claims(tiny_specs, sizes=(2048, 4096, 8192),
+                            reference_size=4096)
+        assert result.reductions
+        assert all(0.0 < r < 1.0 for r in result.reductions)
+        assert result.tc_equivalent_size > result.reference_size
+        assert result.tc_enlargement > 0.0
+        text = format_claims(result)
+        assert "T2" in text and "T3" in text
+
+    def test_claims_reuse_fig9(self, tiny_specs):
+        fig9 = run_fig9(tiny_specs, sizes=(2048, 4096))
+        result = run_claims(tiny_specs, reference_size=2048, fig9=fig9)
+        assert result.fig9 is fig9
+
+
+class TestAblations:
+    def test_selected_variants(self, tiny_specs):
+        variants = {
+            "baseline": XbcConfig(total_uops=4096),
+            "no-set-search": XbcConfig(total_uops=4096,
+                                       enable_set_search=False),
+        }
+        rows = run_ablations(tiny_specs, variants=variants)
+        assert [r.name for r in rows] == ["baseline", "no-set-search"]
+        assert rows[1].miss_rate >= rows[0].miss_rate
+        text = format_ablations(rows)
+        assert "no-set-search" in text

@@ -1,0 +1,64 @@
+"""Tests for the trace registry."""
+
+from repro.harness.registry import (
+    PAPER_COUNTS,
+    TraceSpec,
+    clear_trace_cache,
+    default_registry,
+    make_trace,
+)
+from repro.program.profiles import SUITE_NAMES
+
+
+def test_default_counts():
+    specs = default_registry(traces_per_suite=2)
+    assert len(specs) == 2 * len(SUITE_NAMES)
+
+
+def test_full_matches_paper():
+    specs = default_registry(full=True)
+    assert len(specs) == sum(PAPER_COUNTS.values()) == 21
+    for suite in SUITE_NAMES:
+        count = sum(1 for s in specs if s.suite == suite)
+        assert count == PAPER_COUNTS[suite]
+
+
+def test_suite_filter():
+    specs = default_registry(traces_per_suite=2, suites=["games"])
+    assert all(s.suite == "games" for s in specs)
+    assert len(specs) == 2
+
+
+def test_unique_names_and_seeds():
+    specs = default_registry(full=True)
+    names = [s.name for s in specs]
+    seeds = [s.seed for s in specs]
+    assert len(set(names)) == len(names)
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_footprints_vary_within_suite():
+    specs = default_registry(traces_per_suite=3, suites=["specint"])
+    sizes = [s.static_uops for s in specs]
+    assert len(set(sizes)) == 3
+
+
+def test_make_trace_cached_and_deterministic():
+    clear_trace_cache()
+    spec = default_registry(traces_per_suite=1, length_uops=5000)[0]
+    t1 = make_trace(spec)
+    t2 = make_trace(spec)
+    assert t1 is t2  # cache identity
+    clear_trace_cache()
+    t3 = make_trace(spec)
+    assert t3 is not t1
+    assert len(t3) == len(t1)
+    assert all(a.ip == b.ip for a, b in zip(t1.records, t3.records))
+
+
+def test_trace_length_respected():
+    clear_trace_cache()
+    spec = default_registry(traces_per_suite=1, length_uops=4000)[0]
+    trace = make_trace(spec)
+    assert 4000 <= trace.total_uops < 4100
+    clear_trace_cache()

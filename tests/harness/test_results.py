@@ -1,0 +1,109 @@
+"""Tests for CSV result export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.harness import results
+from repro.harness.experiments.ablations import AblationRow
+from repro.harness.experiments.claims import ClaimsResult
+from repro.harness.experiments.fig8 import Fig8Row
+from repro.harness.experiments.fig9 import Fig9Result
+from repro.harness.experiments.fig10 import Fig10Result
+from repro.harness.experiments.fig1 import Fig1Result
+from repro.trace.blockstats import BlockLengthStats
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_fig9_table_roundtrip():
+    result = Fig9Result(sizes=[1024, 2048])
+    result.tc_miss = {1024: 0.2, 2048: 0.1}
+    result.xbc_miss = {1024: 0.1, 2048: 0.05}
+    headers, rows = results.fig9_table(result)
+    parsed = parse(results.to_csv((headers, rows)))
+    assert parsed[0] == ["total_uops", "tc_miss", "xbc_miss", "reduction"]
+    assert float(parsed[1][3]) == pytest.approx(0.5)
+    assert len(parsed) == 3
+
+
+def test_fig8_table():
+    rows_in = [Fig8Row("a-0", "a", 8.0, 7.6, 11.0, 10.0)]
+    headers, rows = results.fig8_table(rows_in)
+    assert rows[0][0] == "a-0"
+    assert rows[0][4] == pytest.approx(0.95)
+
+
+def test_fig10_table():
+    result = Fig10Result(assocs=[1, 2])
+    result.tc_miss = {1: 0.3, 2: 0.2}
+    result.xbc_miss = {1: 0.1, 2: 0.08}
+    headers, rows = results.fig10_table(result)
+    assert len(rows) == 2
+    assert headers[0] == "assoc"
+
+
+def test_fig1_table():
+    stats = BlockLengthStats()
+    stats.basic_block.add(7)
+    stats.xb.add(8)
+    stats.xb_promoted.add(10)
+    stats.dual_xb.add(12)
+    result = Fig1Result(per_suite={"specint": stats}, overall=stats)
+    headers, rows = results.fig1_table(result)
+    assert rows[0][0] == "specint"
+    assert rows[-1][0] == "ALL"
+    assert rows[0][1] == 7.0
+
+
+def test_claims_table():
+    fig9 = Fig9Result(sizes=[1024])
+    fig9.tc_miss = {1024: 0.2}
+    fig9.xbc_miss = {1024: 0.1}
+    claims = ClaimsResult(fig9=fig9, reference_size=1024)
+    claims.reductions = [0.5]
+    claims.tc_equivalent_size = 2048
+    headers, rows = results.claims_table(claims)
+    values = {row[0]: row[1] for row in rows}
+    assert values["tc_enlargement"] == pytest.approx(1.0)
+
+
+def test_ablations_table():
+    rows_in = [AblationRow("baseline", 0.05, 7.7, 9.6, {})]
+    headers, rows = results.ablations_table(rows_in)
+    assert rows[0] == ["baseline", 0.05, 7.7, 9.6]
+
+
+def test_write_csv(tmp_path):
+    path = str(tmp_path / "out.csv")
+    results.write_csv((["a", "b"], [[1, 2]]), path)
+    with open(path) as handle:
+        assert handle.read().strip().splitlines() == ["a,b", "1,2"]
+
+
+def test_cli_all_command(tmp_path, capsys):
+    from repro.cli import main
+
+    out = str(tmp_path / "results")
+    code = main([
+        "all", "--traces-per-suite", "1", "--length", "10000", "--out", out,
+    ])
+    assert code == 0
+    import os
+    names = sorted(os.listdir(out))
+    assert "fig9.csv" in names and "fig9.txt" in names
+    assert len(names) == 12
+
+
+def test_cli_csv_option(tmp_path, capsys):
+    from repro.cli import main
+
+    path = str(tmp_path / "fig8.csv")
+    main(["fig8", "--traces-per-suite", "1", "--length", "10000",
+          "--csv", path])
+    with open(path) as handle:
+        header = handle.readline().strip()
+    assert header == "trace,suite,tc_bandwidth,xbc_bandwidth,ratio"

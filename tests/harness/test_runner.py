@@ -1,0 +1,48 @@
+"""Tests for the frontend factory."""
+
+import pytest
+
+from repro.bbtc.frontend import BbtcFrontend
+from repro.common.errors import ConfigError
+from repro.frontend.decoded_cache import DecodedCacheFrontend
+from repro.frontend.ic_frontend import ICFrontend
+from repro.harness.runner import FRONTEND_KINDS, make_frontend, run_frontend
+from repro.tc.frontend import TcFrontend
+from repro.xbc.frontend import XbcFrontend
+
+
+def test_factory_builds_every_kind():
+    expected = {
+        "ic": ICFrontend,
+        "dc": DecodedCacheFrontend,
+        "tc": TcFrontend,
+        "xbc": XbcFrontend,
+        "bbtc": BbtcFrontend,
+    }
+    for kind in FRONTEND_KINDS:
+        assert isinstance(make_frontend(kind), expected[kind])
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError):
+        make_frontend("l1")
+
+
+def test_total_uops_applied():
+    tc = make_frontend("tc", total_uops=2048)
+    assert tc.tc_config.total_uops == 2048
+    xbc = make_frontend("xbc", total_uops=2048)
+    assert xbc.xbc_config.total_uops == 2048
+
+
+def test_assoc_override():
+    tc = make_frontend("tc", assoc=2)
+    assert tc.tc_config.assoc == 2
+    xbc = make_frontend("xbc", assoc=4)
+    assert xbc.xbc_config.ways_per_bank == 4
+
+
+def test_run_frontend_end_to_end(small_trace):
+    stats = run_frontend("xbc", small_trace, total_uops=2048)
+    assert stats.total_uops == small_trace.total_uops
+    assert stats.frontend == "xbc"

@@ -1,0 +1,82 @@
+"""Tests for the XBC parameter-sweep utility."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.harness.registry import default_registry
+from repro.harness.sweep import format_sweep, parse_param, run_sweep
+from repro.xbc.config import XbcConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_specs():
+    return default_registry(traces_per_suite=1, length_uops=8000,
+                            suites=["specint"])
+
+
+class TestParseParam:
+    def test_ints(self):
+        assert parse_param("banks=2,4,8") == {"banks": [2, 4, 8]}
+
+    def test_bools(self):
+        assert parse_param("enable_promotion=true,false") == {
+            "enable_promotion": [True, False]
+        }
+
+    def test_strings(self):
+        assert parse_param("overlap_policy=complex,split") == {
+            "overlap_policy": ["complex", "split"]
+        }
+
+    def test_floats(self):
+        assert parse_param("x=1.5") == {"x": [1.5]}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_param("banks")
+
+
+class TestRunSweep:
+    def test_cross_product(self, tiny_specs):
+        rows = run_sweep(
+            {"ways_per_bank": [1, 2], "enable_promotion": [True, False]},
+            tiny_specs,
+            base=XbcConfig(total_uops=1024),
+        )
+        assert len(rows) == 4
+        assert all(row.valid for row in rows)
+        assert all(0.0 < row.miss_rate < 1.0 for row in rows)
+
+    def test_invalid_combo_flagged_not_fatal(self, tiny_specs):
+        # 3 ways with 4 banks x 4 uops on 1024 uops: sets not a power
+        # of two -> invalid, but the sweep continues.
+        rows = run_sweep(
+            {"ways_per_bank": [2, 3]},
+            tiny_specs,
+            base=XbcConfig(total_uops=1024),
+        )
+        validity = {row.params["ways_per_bank"]: row.valid for row in rows}
+        assert validity[2] is True
+        assert validity[3] is False
+
+    def test_unknown_field_rejected(self, tiny_specs):
+        with pytest.raises(ConfigError):
+            run_sweep({"not_a_field": [1]}, tiny_specs)
+
+    def test_format(self, tiny_specs):
+        rows = run_sweep({"ways_per_bank": [1]}, tiny_specs,
+                         base=XbcConfig(total_uops=1024))
+        text = format_sweep(rows)
+        assert "ways_per_bank=1" in text
+        assert "miss %" in text
+
+
+def test_cli_sweep(capsys):
+    from repro.cli import main
+
+    assert main([
+        "sweep", "--traces-per-suite", "1", "--length", "8000",
+        "--param", "xbs_per_cycle=1,2", "--size", "1024",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "xbs_per_cycle=1" in out and "xbs_per_cycle=2" in out

@@ -1,0 +1,66 @@
+"""Fuzz: random mini-programs through every frontend.
+
+Generates small programs from randomized profile parameters and checks
+the non-negotiable invariants on each frontend: uop conservation, full
+retirement, and sane metric ranges.  Catches interactions no crafted
+scenario anticipates (odd terminator mixes, tiny loops, deep calls).
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bbtc.config import BbtcConfig
+from repro.bbtc.frontend import BbtcFrontend
+from repro.frontend.config import FrontendConfig
+from repro.frontend.decoded_cache import DcConfig, DecodedCacheFrontend
+from repro.program.generator import generate_program
+from repro.program.profiles import WorkloadProfile
+from repro.tc.config import TcConfig
+from repro.tc.frontend import TcFrontend
+from repro.trace.executor import execute_program
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+profile_params = st.fixed_dictionaries({
+    "num_functions": st.integers(4, 12),
+    "mean_blocks_per_function": st.floats(4.0, 12.0),
+    "mean_body_instrs": st.floats(1.5, 7.0),
+    "mean_loop_trip": st.floats(2.0, 20.0),
+    "mean_loop_gap": st.floats(1.0, 6.0),
+    "mean_loop_body": st.floats(1.0, 5.0),
+    "p_loop_escape": st.floats(0.0, 0.4),
+    "p_nested_loop": st.floats(0.0, 0.6),
+    "max_call_depth": st.integers(1, 6),
+    "mean_indirect_targets": st.floats(2.0, 8.0),
+    "mean_function_gap_bytes": st.floats(0.0, 3000.0),
+})
+
+
+@given(params=profile_params, seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_programs_conserve_uops_everywhere(params, seed):
+    profile = replace(WorkloadProfile(), **params)
+    program = generate_program(profile, seed=seed, name="fuzz", suite="fuzz")
+    trace = execute_program(program, max_uops=6000)
+    assert trace.total_uops >= 6000
+
+    fe = FrontendConfig()
+    frontends = [
+        DecodedCacheFrontend(fe, DcConfig(total_uops=512)),
+        TcFrontend(fe, TcConfig(total_uops=1024)),
+        BbtcFrontend(fe, BbtcConfig(total_uops=512, table_entries=256)),
+        XbcFrontend(fe, XbcConfig(total_uops=512, xbtb_entries=256,
+                                  xbtb_assoc=4)),
+        XbcFrontend(fe, XbcConfig(total_uops=512, xbtb_entries=256,
+                                  xbtb_assoc=4, overlap_policy="split")),
+    ]
+    for frontend in frontends:
+        # verify_conservation inside run() raises on any accounting bug.
+        stats = frontend.run(trace)
+        assert stats.retired_uops == trace.total_uops, frontend.name
+        assert 0.0 <= stats.uop_miss_rate <= 1.0, frontend.name
+        assert stats.cycles > 0, frontend.name
+        phases = stats.phase_breakdown()
+        assert abs(sum(phases.values()) - 1.0) < 1e-9, frontend.name

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.gshare import GsharePredictor
+from repro.branch.rsb import ReturnStackBuffer
+from repro.common.histogram import Histogram
+from repro.common.rng import DeterministicRng
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr, Trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.fill import common_suffix_len
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbseq import build_xb_stream
+
+# ----------------------------------------------------------------------
+# storage round-trip
+# ----------------------------------------------------------------------
+
+uop_lists = st.lists(
+    st.integers(min_value=1, max_value=2**24), min_size=1, max_size=16,
+    unique=True,
+)
+
+
+@given(uops=uop_lists, xb_ip=st.integers(min_value=2, max_value=2**20))
+@settings(max_examples=200, deadline=None)
+def test_storage_roundtrip(uops, xb_ip):
+    """Insert-then-read returns the exact uop sequence, any length/ip."""
+    storage = XbcStorage(XbcConfig(total_uops=128))
+    mask = storage.insert_xb(xb_ip, uops)
+    assert mask is not None
+    assert storage.read_variant(xb_ip, mask) == uops
+    assert storage.probe(xb_ip, mask, len(uops), list(reversed(uops))) is not None
+
+
+@given(
+    suffix=st.lists(st.integers(min_value=1, max_value=2**20),
+                    min_size=1, max_size=8, unique=True),
+    prefix=st.lists(st.integers(min_value=2**20 + 1, max_value=2**21),
+                    min_size=1, max_size=8, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_storage_extension_roundtrip(suffix, prefix):
+    """Extending at the head preserves both old and new content."""
+    if len(suffix) + len(prefix) > 16:
+        return
+    storage = XbcStorage(XbcConfig(total_uops=128))
+    mask = storage.insert_xb(0x900, suffix)
+    new_mask = storage.extend_xb(0x900, mask, len(suffix), prefix)
+    if new_mask is not None:
+        assert storage.read_variant(0x900, new_mask) == prefix + suffix
+
+
+# ----------------------------------------------------------------------
+# common suffix
+# ----------------------------------------------------------------------
+
+@given(
+    a=st.lists(st.integers(0, 9), max_size=20),
+    b=st.lists(st.integers(0, 9), max_size=20),
+)
+@settings(max_examples=200)
+def test_common_suffix_is_a_suffix_of_both(a, b):
+    n = common_suffix_len(a, b)
+    assert a[len(a) - n:] == b[len(b) - n:]
+    if n < min(len(a), len(b)):
+        assert a[len(a) - n - 1] != b[len(b) - n - 1]
+
+
+# ----------------------------------------------------------------------
+# XB stream invariants over synthetic straight-line runs
+# ----------------------------------------------------------------------
+
+def _run_records(uop_sizes, end_kind=InstrKind.COND_BRANCH):
+    records = []
+    ip = 0x1000
+    for size in uop_sizes:
+        instr = Instruction(ip=ip, size=2, kind=InstrKind.ALU, num_uops=size)
+        records.append(DynInstr(instr=instr, taken=False, next_ip=ip + 2))
+        ip += 2
+    end = Instruction(ip=ip, size=2, kind=end_kind, num_uops=1,
+                      target=0x9000 if end_kind is InstrKind.COND_BRANCH else None)
+    records.append(DynInstr(instr=end, taken=True, next_ip=0x9000))
+    return records
+
+
+@given(sizes=st.lists(st.integers(1, 4), min_size=0, max_size=40))
+@settings(max_examples=200)
+def test_xb_stream_covers_and_respects_quota(sizes):
+    records = _run_records(sizes)
+    steps = build_xb_stream(Trace(records), quota=16)
+    assert sum(len(s.uops) for s in steps) == sum(sizes) + 1
+    assert all(1 <= len(s.uops) <= 16 for s in steps)
+    # contiguous, ordered coverage of the record range
+    cursor = 0
+    for step in steps:
+        assert step.first_record == cursor
+        cursor = step.last_record + 1
+    assert cursor == len(records)
+
+
+@given(
+    sizes=st.lists(st.integers(1, 4), min_size=4, max_size=40),
+    skip=st.integers(1, 3),
+)
+@settings(max_examples=200)
+def test_xb_stream_entry_point_independent(sizes, skip):
+    """Entering a run later never changes downstream chunk identities."""
+    full_records = _run_records(sizes)
+    late_records = full_records[skip:]
+    full_ends = [s.end_ip for s in build_xb_stream(Trace(full_records))]
+    late_ends = [s.end_ip for s in build_xb_stream(Trace(late_records))]
+    # every late chunk end must be a chunk end of the full run
+    assert set(late_ends) <= set(full_ends)
+    assert late_ends[-1] == full_ends[-1]
+
+
+# ----------------------------------------------------------------------
+# predictors and stacks against reference models
+# ----------------------------------------------------------------------
+
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 999)),
+        st.tuples(st.just("pop"), st.just(0)),
+    ),
+    max_size=60,
+))
+@settings(max_examples=200)
+def test_rsb_matches_bounded_stack_model(ops):
+    depth = 8
+    rsb = ReturnStackBuffer(depth=depth)
+    model = []
+    for op, value in ops:
+        if op == "push":
+            rsb.push(value)
+            model.append(value)
+            if len(model) > depth:
+                model.pop(0)  # oldest entry overwritten
+        else:
+            expected = model.pop() if model else None
+            assert rsb.pop() == expected
+
+
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=300))
+@settings(max_examples=100)
+def test_gshare_matches_reference(outcomes):
+    """The fast implementation equals a straightforward reference."""
+    predictor = GsharePredictor(history_bits=6, table_entries=256)
+    table = [2] * 256
+    history = 0
+    ip = 0x1234
+    for taken in outcomes:
+        index = ((ip >> 1) ^ history) & 255
+        expected_correct = (table[index] >= 2) == taken
+        assert predictor.update(ip, taken) == expected_correct
+        if taken:
+            table[index] = min(3, table[index] + 1)
+        else:
+            table[index] = max(0, table[index] - 1)
+        history = ((history << 1) | int(taken)) & 63
+
+
+@given(values=st.lists(st.integers(0, 100), min_size=1, max_size=500))
+@settings(max_examples=100)
+def test_histogram_matches_reference(values):
+    h = Histogram()
+    h.update(values)
+    assert h.total == len(values)
+    assert h.mean == sum(values) / len(values)
+    for v in set(values):
+        assert h.count_of(v) == values.count(v)
+
+
+@given(seed=st.integers(0, 2**32), salt=st.integers(0, 1000))
+@settings(max_examples=50)
+def test_rng_reset_replays_stream(seed, salt):
+    rng = DeterministicRng(seed).fork(salt)
+    first = [rng.random() for _ in range(10)]
+    rng.reset()
+    assert [rng.random() for _ in range(10)] == first

@@ -1,0 +1,86 @@
+"""Integration tests: the paper's headline shapes end-to-end.
+
+These are the acceptance tests of the reproduction: on every suite the
+XBC must beat the TC's hit rate at equal capacity, with comparable
+bandwidth, and every frontend must account for every uop exactly once.
+"""
+
+import pytest
+
+from repro.bbtc.config import BbtcConfig
+from repro.bbtc.frontend import BbtcFrontend
+from repro.frontend.config import FrontendConfig
+from repro.frontend.ic_frontend import ICFrontend
+from repro.tc.config import TcConfig
+from repro.tc.frontend import TcFrontend
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+BUDGET = 4096
+
+
+@pytest.fixture(scope="module")
+def results(suite_traces):
+    """(suite, kind) -> stats for all four frontends on all suites."""
+    out = {}
+    for suite, trace in suite_traces.items():
+        fe = FrontendConfig()
+        out[(suite, "ic")] = ICFrontend(fe).run(trace)
+        out[(suite, "tc")] = TcFrontend(fe, TcConfig(total_uops=BUDGET)).run(trace)
+        out[(suite, "xbc")] = XbcFrontend(fe, XbcConfig(total_uops=BUDGET)).run(trace)
+        out[(suite, "bbtc")] = BbtcFrontend(fe, BbtcConfig(total_uops=BUDGET)).run(trace)
+    return out
+
+
+SUITES = ("specint", "sysmark", "games")
+
+
+class TestHeadlineShapes:
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_xbc_beats_tc_hit_rate(self, results, suite):
+        # The paper's central claim (Figure 9): fewer uops from the IC.
+        assert results[(suite, "xbc")].uop_miss_rate < results[
+            (suite, "tc")
+        ].uop_miss_rate
+
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_bandwidth_comparable(self, results, suite):
+        # Figure 8: "the difference ... is negligible".
+        tc = results[(suite, "tc")].delivery_bandwidth
+        xbc = results[(suite, "xbc")].delivery_bandwidth
+        assert 0.8 < xbc / tc < 1.25
+
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_both_beat_plain_ic_bandwidth(self, results, suite):
+        ic = results[(suite, "ic")].overall_bandwidth
+        assert results[(suite, "tc")].overall_bandwidth > ic
+        assert results[(suite, "xbc")].overall_bandwidth > ic
+
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_bbtc_between_tc_and_ic(self, results, suite):
+        # §2.4: pointer-level redundancy beats uop-level redundancy.
+        assert results[(suite, "bbtc")].uop_miss_rate < results[
+            (suite, "tc")
+        ].uop_miss_rate
+
+    @pytest.mark.parametrize("suite", SUITES)
+    def test_xbc_redundancy_free_vs_tc(self, results, suite):
+        tc_red = results[(suite, "tc")].extra["tc_redundancy_x1000"]
+        xbc_red = results[(suite, "xbc")].extra["xbc_redundancy_x1000"]
+        assert xbc_red < tc_red
+        assert xbc_red < 1200  # essentially redundancy-free
+
+
+class TestConservation:
+    @pytest.mark.parametrize("suite", SUITES)
+    @pytest.mark.parametrize("kind", ("ic", "tc", "xbc", "bbtc"))
+    def test_every_uop_once(self, results, suite_traces, suite, kind):
+        assert results[(suite, kind)].total_uops == suite_traces[suite].total_uops
+
+    @pytest.mark.parametrize("suite", SUITES)
+    @pytest.mark.parametrize("kind", ("ic", "tc", "xbc", "bbtc"))
+    def test_everything_retires(self, results, suite_traces, suite, kind):
+        assert (
+            results[(suite, kind)].retired_uops
+            == suite_traces[suite].total_uops
+        )

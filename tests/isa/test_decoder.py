@@ -1,0 +1,43 @@
+"""Tests for the decoder stage."""
+
+import pytest
+
+from repro.isa.decoder import Decoder
+from repro.isa.instruction import Instruction, InstrKind
+from repro.isa.uop import uop_uid_index, uop_uid_ip
+
+
+def alu(ip, uops=2):
+    return Instruction(ip=ip, size=3, kind=InstrKind.ALU, num_uops=uops)
+
+
+def test_decode_produces_ordered_uops():
+    decoded = Decoder().decode(alu(0x100, uops=3))
+    assert decoded.num_uops == 3
+    assert [uop_uid_ip(u) for u in decoded.uops] == [0x100] * 3
+    assert [uop_uid_index(u) for u in decoded.uops] == [0, 1, 2]
+
+
+def test_counters_accumulate():
+    d = Decoder()
+    d.decode(alu(0x100, uops=2))
+    d.decode(alu(0x103, uops=4))
+    assert d.decoded_instructions == 2
+    assert d.decoded_uops == 6
+    d.reset_counters()
+    assert d.decoded_instructions == 0
+    assert d.decoded_uops == 0
+
+
+def test_decode_group_respects_width():
+    d = Decoder(width=2)
+    group = [alu(0x100), alu(0x103)]
+    assert len(d.decode_group(group)) == 2
+    with pytest.raises(ValueError):
+        d.decode_group([alu(0x100), alu(0x103), alu(0x106)])
+
+
+@pytest.mark.parametrize("width,latency", [(0, 1), (-1, 1), (1, -1)])
+def test_bad_parameters_rejected(width, latency):
+    with pytest.raises(ValueError):
+        Decoder(width=width, latency=latency)

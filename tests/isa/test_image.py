@@ -1,0 +1,75 @@
+"""Tests for the program image."""
+
+import pytest
+
+from repro.isa.image import ProgramImage
+from repro.isa.instruction import Instruction, InstrKind
+
+
+def alu(ip, size=2, uops=1):
+    return Instruction(ip=ip, size=size, kind=InstrKind.ALU, num_uops=uops)
+
+
+def test_add_and_fetch():
+    image = ProgramImage()
+    image.add(alu(0x10))
+    image.add(alu(0x12))
+    image.freeze()
+    assert image.fetch(0x10).ip == 0x10
+    assert image.get(0x12).ip == 0x12
+    assert image.get(0x11) is None
+    assert 0x10 in image and 0x11 not in image
+
+
+def test_fetch_missing_raises():
+    image = ProgramImage().freeze()
+    with pytest.raises(KeyError):
+        image.fetch(0x10)
+
+
+def test_overlap_rejected():
+    image = ProgramImage()
+    image.add(alu(0x10, size=4))
+    with pytest.raises(ValueError):
+        image.add(alu(0x12))
+
+
+def test_gaps_allowed():
+    image = ProgramImage()
+    image.add(alu(0x10, size=2))
+    image.add(alu(0x20, size=2))
+    assert len(image) == 2
+
+
+def test_frozen_rejects_add():
+    image = ProgramImage()
+    image.add(alu(0x10))
+    image.freeze()
+    with pytest.raises(RuntimeError):
+        image.add(alu(0x20))
+
+
+def test_totals():
+    image = ProgramImage()
+    image.add(alu(0x10, size=3, uops=2))
+    image.add(alu(0x13, size=5, uops=3))
+    assert image.total_uops == 5
+    assert image.total_bytes == 8
+    assert image.lowest_ip == 0x10
+    assert image.end_ip == 0x18
+
+
+def test_iteration_in_address_order():
+    image = ProgramImage()
+    image.add(alu(0x10))
+    image.add(alu(0x20))
+    image.add(alu(0x30))
+    assert [i.ip for i in image] == [0x10, 0x20, 0x30]
+
+
+def test_empty_image_properties():
+    image = ProgramImage()
+    assert image.total_bytes == 0
+    assert image.total_uops == 0
+    with pytest.raises(ValueError):
+        _ = image.lowest_ip

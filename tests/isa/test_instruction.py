@@ -1,0 +1,103 @@
+"""Tests for the instruction model and branch taxonomy."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstrKind
+
+
+def make(kind, target=0x2000, **kw):
+    needs_target = kind in (InstrKind.COND_BRANCH, InstrKind.JUMP, InstrKind.CALL)
+    return Instruction(
+        ip=kw.get("ip", 0x1000),
+        size=kw.get("size", 2),
+        kind=kind,
+        num_uops=kw.get("num_uops", 1),
+        target=target if needs_target else None,
+    )
+
+
+class TestKindTaxonomy:
+    def test_non_branches(self):
+        for kind in (InstrKind.ALU, InstrKind.LOAD, InstrKind.STORE):
+            assert not kind.is_branch
+            assert not kind.ends_basic_block
+            assert not kind.ends_xb
+
+    def test_every_branch_ends_basic_block(self):
+        for kind in InstrKind:
+            if kind.is_branch:
+                assert kind.ends_basic_block
+
+    def test_jump_does_not_end_xb(self):
+        # The core definitional difference between a XB and a basic block.
+        assert InstrKind.JUMP.ends_basic_block
+        assert not InstrKind.JUMP.ends_xb
+
+    def test_xb_enders(self):
+        for kind in (
+            InstrKind.COND_BRANCH,
+            InstrKind.INDIRECT_JUMP,
+            InstrKind.INDIRECT_CALL,
+            InstrKind.CALL,
+            InstrKind.RETURN,
+        ):
+            assert kind.ends_xb
+
+    def test_indirect_classification(self):
+        assert InstrKind.RETURN.is_indirect
+        assert InstrKind.INDIRECT_JUMP.is_indirect
+        assert InstrKind.INDIRECT_CALL.is_indirect
+        assert not InstrKind.JUMP.is_indirect
+        assert not InstrKind.CALL.is_indirect
+
+    def test_call_classification(self):
+        assert InstrKind.CALL.is_call
+        assert InstrKind.INDIRECT_CALL.is_call
+        assert not InstrKind.RETURN.is_call
+
+    def test_only_cond_is_conditional(self):
+        assert InstrKind.COND_BRANCH.is_conditional
+        assert sum(k.is_conditional for k in InstrKind) == 1
+
+
+class TestInstructionValidation:
+    def test_next_ip(self):
+        instr = make(InstrKind.ALU, size=3)
+        assert instr.next_ip == instr.ip + 3
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(ip=0, size=0, kind=InstrKind.ALU, num_uops=1)
+
+    @pytest.mark.parametrize("uops", [0, 5, -1])
+    def test_bad_uop_count_rejected(self, uops):
+        with pytest.raises(ValueError):
+            Instruction(ip=0, size=1, kind=InstrKind.ALU, num_uops=uops)
+
+    @pytest.mark.parametrize(
+        "kind", [InstrKind.COND_BRANCH, InstrKind.JUMP, InstrKind.CALL]
+    )
+    def test_direct_branch_requires_target(self, kind):
+        with pytest.raises(ValueError):
+            Instruction(ip=0, size=2, kind=kind, num_uops=1, target=None)
+
+    def test_indirect_branch_needs_no_target(self):
+        Instruction(ip=0, size=2, kind=InstrKind.INDIRECT_JUMP, num_uops=1)
+
+    def test_outcomes_cond(self):
+        instr = make(InstrKind.COND_BRANCH)
+        taken, fallthrough = instr.outcomes()
+        assert taken == 0x2000
+        assert fallthrough == instr.next_ip
+
+    def test_outcomes_jump_has_no_fallthrough(self):
+        instr = make(InstrKind.JUMP)
+        taken, fallthrough = instr.outcomes()
+        assert taken == 0x2000
+        assert fallthrough is None
+
+    def test_outcomes_return(self):
+        instr = make(InstrKind.RETURN)
+        taken, fallthrough = instr.outcomes()
+        assert taken is None
+        assert fallthrough is None

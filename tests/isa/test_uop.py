@@ -1,0 +1,41 @@
+"""Tests for uop identity packing."""
+
+from repro.isa.uop import (
+    Uop,
+    uop_uid,
+    uop_uid_index,
+    uop_uid_ip,
+    uops_of,
+)
+
+
+def test_uid_roundtrip():
+    for ip in (0, 1, 0x1000, 0xFFFF_FFFF):
+        for index in (0, 3, 15):
+            uid = uop_uid(ip, index)
+            assert uop_uid_ip(uid) == ip
+            assert uop_uid_index(uid) == index
+
+
+def test_uids_are_ordered_within_instruction():
+    uids = uops_of(0x400, 4)
+    assert uids == sorted(uids)
+    assert [uop_uid_index(u) for u in uids] == [0, 1, 2, 3]
+
+
+def test_uids_distinct_across_instructions():
+    a = set(uops_of(0x400, 4))
+    b = set(uops_of(0x401, 4))
+    assert not a & b
+
+
+def test_uop_dataclass_roundtrip():
+    u = Uop(ip=0x123, index=2)
+    assert Uop.from_uid(u.uid) == u
+
+
+def test_first_uop_index_zero_marks_instruction_start():
+    # The frontends rely on (uid & mask) == 0 identifying the first uop.
+    uids = uops_of(0x99, 3)
+    assert uop_uid_index(uids[0]) == 0
+    assert all(uop_uid_index(u) != 0 for u in uids[1:])

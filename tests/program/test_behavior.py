@@ -1,0 +1,113 @@
+"""Tests for branch behaviour models."""
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.program.behavior import (
+    BiasedBehavior,
+    IndirectBehavior,
+    LoopBehavior,
+    PatternBehavior,
+)
+
+
+class TestBiased:
+    def test_long_run_rate_matches_bias(self):
+        b = BiasedBehavior(0.9, DeterministicRng(1))
+        taken = sum(b.next_taken() for _ in range(5000))
+        assert 0.87 < taken / 5000 < 0.93
+
+    def test_extreme_biases(self):
+        always = BiasedBehavior(1.0, DeterministicRng(1))
+        never = BiasedBehavior(0.0, DeterministicRng(1))
+        assert all(always.next_taken() for _ in range(100))
+        assert not any(never.next_taken() for _ in range(100))
+
+    def test_static_bias_property(self):
+        assert BiasedBehavior(0.7, DeterministicRng(1)).static_bias == 0.7
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1])
+    def test_out_of_range_rejected(self, p):
+        with pytest.raises(ValueError):
+            BiasedBehavior(p, DeterministicRng(1))
+
+
+class TestLoop:
+    def test_constant_trip_pattern(self):
+        # jitter_p=0 makes every entry run exactly base_trip iterations.
+        b = LoopBehavior(mean_trip=4.0, rng=DeterministicRng(1), jitter_p=0.0)
+        outcomes = [b.next_taken() for _ in range(8)]
+        # trip 4 => taken, taken, taken, not-taken; twice.
+        assert outcomes == [True, True, True, False] * 2
+
+    def test_trip_one_never_taken(self):
+        b = LoopBehavior(mean_trip=1.0, rng=DeterministicRng(1), jitter_p=0.0)
+        assert [b.next_taken() for _ in range(5)] == [False] * 5
+
+    def test_reset_rearms_trip(self):
+        b = LoopBehavior(mean_trip=3.0, rng=DeterministicRng(1), jitter_p=0.0)
+        b.next_taken()
+        b.reset()
+        # After reset we are at the start of a fresh trip again.
+        assert [b.next_taken() for _ in range(3)] == [True, True, False]
+
+    def test_always_terminates(self):
+        b = LoopBehavior(mean_trip=50.0, rng=DeterministicRng(1), max_trip=64)
+        # Every entry must produce a not-taken within max_trip outcomes.
+        for _ in range(20):
+            for i in range(65):
+                if not b.next_taken():
+                    break
+            else:
+                pytest.fail("loop exceeded max_trip without exiting")
+
+    def test_static_bias(self):
+        b = LoopBehavior(mean_trip=10.0, rng=DeterministicRng(1))
+        assert b.static_bias == pytest.approx(0.9)
+
+    def test_bad_trip_rejected(self):
+        with pytest.raises(ValueError):
+            LoopBehavior(mean_trip=0.5, rng=DeterministicRng(1))
+
+
+class TestPattern:
+    def test_cycles_through_pattern(self):
+        b = PatternBehavior([True, False, False])
+        assert [b.next_taken() for _ in range(6)] == [
+            True, False, False, True, False, False,
+        ]
+
+    def test_reset(self):
+        b = PatternBehavior([True, False])
+        b.next_taken()
+        b.reset()
+        assert b.next_taken() is True
+
+    def test_static_bias(self):
+        assert PatternBehavior([True, True, False]).static_bias == pytest.approx(2 / 3)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PatternBehavior([])
+
+
+class TestIndirect:
+    def test_targets_drawn_from_set(self):
+        targets = [0x100, 0x200, 0x300]
+        b = IndirectBehavior(targets, DeterministicRng(1))
+        for _ in range(200):
+            assert b.next_target() in targets
+
+    def test_zipf_skew_prefers_first(self):
+        b = IndirectBehavior([1, 2, 3, 4], DeterministicRng(1), skew=1.5)
+        draws = [b.next_target() for _ in range(4000)]
+        assert draws.count(1) > draws.count(4)
+        assert b.dominant_fraction > 0.4
+
+    def test_single_target_is_deterministic(self):
+        b = IndirectBehavior([0x42], DeterministicRng(1))
+        assert all(b.next_target() == 0x42 for _ in range(20))
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectBehavior([], DeterministicRng(1))

@@ -1,0 +1,110 @@
+"""Tests for the CFG data model."""
+
+import pytest
+
+from repro.isa.image import ProgramImage
+from repro.isa.instruction import Instruction, InstrKind
+from repro.program.cfg import (
+    BasicBlockSpec,
+    FunctionSpec,
+    LayoutBlock,
+    Program,
+    TerminatorKind,
+)
+
+
+class TestTerminatorKind:
+    def test_instr_kind_mapping_total(self):
+        for kind in TerminatorKind:
+            assert kind.instr_kind in InstrKind
+
+    def test_specific_mappings(self):
+        assert TerminatorKind.COND.instr_kind is InstrKind.COND_BRANCH
+        assert TerminatorKind.RET.instr_kind is InstrKind.RETURN
+        assert TerminatorKind.INDIRECT.instr_kind is InstrKind.INDIRECT_JUMP
+
+
+class TestBasicBlockSpec:
+    def test_valid_cond(self):
+        BasicBlockSpec(
+            bid=0, fid=0, body_uop_counts=[1], terminator=TerminatorKind.COND,
+            taken_bid=1, fall_bid=2,
+        ).validate()
+
+    @pytest.mark.parametrize(
+        "terminator,kwargs",
+        [
+            (TerminatorKind.COND, dict(taken_bid=1)),          # no fall
+            (TerminatorKind.COND, dict(fall_bid=1)),           # no taken
+            (TerminatorKind.JUMP, dict()),                     # no target
+            (TerminatorKind.CALL, dict(taken_bid=1)),          # no fall
+            (TerminatorKind.INDIRECT, dict()),                 # no targets
+            (TerminatorKind.INDIRECT_CALL, dict(fall_bid=1)),  # no targets
+        ],
+    )
+    def test_inconsistent_specs_rejected(self, terminator, kwargs):
+        spec = BasicBlockSpec(
+            bid=0, fid=0, body_uop_counts=[], terminator=terminator, **kwargs
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+    def test_ret_needs_nothing(self):
+        BasicBlockSpec(
+            bid=0, fid=0, body_uop_counts=[], terminator=TerminatorKind.RET
+        ).validate()
+
+    def test_num_body_instrs(self):
+        spec = BasicBlockSpec(
+            bid=0, fid=0, body_uop_counts=[1, 2, 1],
+            terminator=TerminatorKind.RET,
+        )
+        assert spec.num_body_instrs == 3
+
+
+def _tiny_program():
+    image = ProgramImage()
+    body = Instruction(ip=0x100, size=2, kind=InstrKind.ALU, num_uops=2)
+    term = Instruction(ip=0x102, size=2, kind=InstrKind.COND_BRANCH,
+                       num_uops=1, target=0x100)
+    image.add(body)
+    image.add(term)
+    block = LayoutBlock(
+        bid=0, fid=0, entry_ip=0x100, body=[body], terminator=term,
+        taken_bid=0, fall_bid=0, indirect_bids=[],
+        terminator_kind=TerminatorKind.COND,
+    )
+    return Program(
+        image=image.freeze(),
+        blocks={0: block},
+        functions=[FunctionSpec(fid=0, level=0, block_bids=[0])],
+        entry_bid=0,
+        cond_behaviors={},
+        indirect_behaviors={},
+        suite="test",
+        name="tiny",
+        seed=1,
+    )
+
+
+class TestLayoutBlockAndProgram:
+    def test_block_properties(self):
+        program = _tiny_program()
+        block = program.blocks[0]
+        assert block.num_uops == 3
+        assert [i.ip for i in block.instructions] == [0x100, 0x102]
+
+    def test_program_lookup(self):
+        program = _tiny_program()
+        assert program.entry_block.bid == 0
+        assert program.block_at_ip(0x100).bid == 0
+        assert program.block_at_ip(0x999) is None
+
+    def test_program_counters(self):
+        program = _tiny_program()
+        assert program.num_blocks == 1
+        assert program.static_uops == 3
+
+    def test_describe(self):
+        text = _tiny_program().describe()
+        assert "tiny" in text and "test" in text and "1 blocks" in text

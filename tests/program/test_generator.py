@@ -1,0 +1,141 @@
+"""Structural tests for the synthetic program generator."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.isa.instruction import InstrKind
+from repro.program.behavior import LoopBehavior
+from repro.program.cfg import TerminatorKind
+from repro.program.generator import generate_program
+from repro.program.profiles import profile_for_suite
+
+
+@pytest.fixture(scope="module")
+def program():
+    profile = replace(profile_for_suite("specint"), num_functions=20)
+    return generate_program(profile, seed=5, name="gen-test", suite="specint")
+
+
+class TestStructure:
+    def test_every_block_has_consistent_successors(self, program):
+        for block in program.blocks.values():
+            kind = block.terminator_kind
+            if kind is TerminatorKind.COND:
+                assert block.taken_bid is not None
+                assert block.fall_bid is not None
+            elif kind is TerminatorKind.JUMP:
+                assert block.taken_bid is not None
+            elif kind is TerminatorKind.CALL:
+                assert block.taken_bid is not None
+                assert block.fall_bid is not None
+            elif kind is TerminatorKind.INDIRECT:
+                assert len(block.indirect_bids) >= 2
+            elif kind is TerminatorKind.INDIRECT_CALL:
+                assert len(block.indirect_bids) >= 2
+                assert block.fall_bid is not None
+
+    def test_successor_bids_exist(self, program):
+        for block in program.blocks.values():
+            for bid in [block.taken_bid, block.fall_bid] + block.indirect_bids:
+                if bid is not None:
+                    assert bid in program.blocks
+
+    def test_terminator_targets_resolve_to_block_entries(self, program):
+        entries = {b.entry_ip for b in program.blocks.values()}
+        for block in program.blocks.values():
+            target = block.terminator.target
+            if target is not None:
+                assert target in entries
+
+    def test_every_function_ends_with_ret_except_main(self, program):
+        for fn in program.functions:
+            last = program.blocks[fn.block_bids[-1]]
+            if fn.fid == 0:
+                assert last.terminator_kind is TerminatorKind.JUMP
+            else:
+                assert last.terminator_kind is TerminatorKind.RET
+
+    def test_call_graph_levels_strictly_increase(self, program):
+        level = {fn.fid: fn.level for fn in program.functions}
+        fid_of_bid = {b.bid: b.fid for b in program.blocks.values()}
+        for block in program.blocks.values():
+            if block.terminator_kind is TerminatorKind.CALL:
+                callee_fid = fid_of_bid[block.taken_bid]
+                assert level[callee_fid] > level[block.fid]
+            if block.terminator_kind is TerminatorKind.INDIRECT_CALL:
+                for bid in block.indirect_bids:
+                    assert level[fid_of_bid[bid]] > level[block.fid]
+
+    def test_behaviors_attached_to_every_dynamic_branch(self, program):
+        for block in program.blocks.values():
+            term = block.terminator
+            if term.kind is InstrKind.COND_BRANCH:
+                assert term.ip in program.cond_behaviors
+            if term.kind in (InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL):
+                assert term.ip in program.indirect_behaviors
+
+    def test_backedges_are_loop_behaviors(self, program):
+        for block in program.blocks.values():
+            if (
+                block.terminator_kind is TerminatorKind.COND
+                and block.taken_bid is not None
+                and block.taken_bid <= block.bid
+            ):
+                behavior = program.cond_behaviors[block.terminator.ip]
+                assert isinstance(behavior, LoopBehavior)
+
+    def test_forward_conds_are_not_loops(self, program):
+        # Non-backedge conditionals must never use trip-limited behaviour
+        # keyed to loop state (they would desynchronize loop planning).
+        for block in program.blocks.values():
+            if (
+                block.terminator_kind is TerminatorKind.COND
+                and block.taken_bid is not None
+                and block.taken_bid > block.bid
+            ):
+                behavior = program.cond_behaviors[block.terminator.ip]
+                assert not isinstance(behavior, LoopBehavior)
+
+    def test_image_contains_all_instructions(self, program):
+        for block in program.blocks.values():
+            for instr in block.instructions:
+                assert program.image.fetch(instr.ip) is instr
+
+    def test_block_instructions_contiguous(self, program):
+        for block in program.blocks.values():
+            instrs = block.instructions
+            assert instrs[0].ip == block.entry_ip
+            for a, b in zip(instrs, instrs[1:]):
+                assert a.next_ip == b.ip
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self):
+        profile = replace(profile_for_suite("games"), num_functions=10)
+        p1 = generate_program(profile, seed=99)
+        p2 = generate_program(profile, seed=99)
+        assert p1.static_uops == p2.static_uops
+        assert p1.num_blocks == p2.num_blocks
+        ips1 = [i.ip for i in p1.image]
+        ips2 = [i.ip for i in p2.image]
+        assert ips1 == ips2
+
+    def test_different_seeds_differ(self):
+        profile = replace(profile_for_suite("games"), num_functions=10)
+        p1 = generate_program(profile, seed=1)
+        p2 = generate_program(profile, seed=2)
+        assert [i.ip for i in p1.image] != [i.ip for i in p2.image]
+
+
+class TestScaling:
+    def test_static_footprint_tracks_profile(self):
+        base = profile_for_suite("specint")
+        small = generate_program(base.scaled(3000), seed=4)
+        large = generate_program(base.scaled(24000), seed=4)
+        assert small.static_uops < large.static_uops
+        assert 1500 < small.static_uops < 7000
+        assert 14000 < large.static_uops < 40000
+
+    def test_describe_mentions_suite(self, program):
+        assert "specint" in program.describe()

@@ -1,0 +1,74 @@
+"""Tests for workload profiles."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.program.profiles import (
+    SUITE_NAMES,
+    WorkloadProfile,
+    profile_for_suite,
+)
+
+
+def test_all_suite_presets_validate():
+    for suite in SUITE_NAMES:
+        profile_for_suite(suite).validate()
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(ConfigError):
+        profile_for_suite("spec2017")
+
+
+def test_default_profile_validates():
+    WorkloadProfile().validate()
+
+
+def test_suite_presets_differ():
+    specint = profile_for_suite("specint")
+    sysmark = profile_for_suite("sysmark")
+    assert specint.num_functions != sysmark.num_functions
+    assert specint.cond_mixture != sysmark.cond_mixture
+
+
+def test_scaled_targets_footprint():
+    base = profile_for_suite("specint")
+    bigger = base.scaled(40_000)
+    smaller = base.scaled(2_000)
+    assert bigger.num_functions > base.num_functions
+    assert smaller.num_functions < base.num_functions
+    assert smaller.num_functions >= 4
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("num_functions", 1),
+        ("min_blocks_per_function", 1),
+        ("max_blocks_per_function", 2),
+        ("max_call_depth", 0),
+        ("p_cond", 0.5),          # breaks the terminator-mix sum
+        ("mean_loop_trip", 0.5),
+        ("mean_loop_body", 0.5),
+        ("p_nested_loop", 1.5),
+        ("p_loop_escape", -0.1),
+        ("escape_rate", 0.9),
+        ("monotonic_bias", 0.4),
+        ("biased_range", (0.9, 0.2)),
+    ],
+)
+def test_validation_rejects_bad_fields(field, value):
+    profile = replace(WorkloadProfile(), **{field: value})
+    with pytest.raises(ConfigError):
+        profile.validate()
+
+
+def test_cond_mixture_must_sum_to_one():
+    profile = replace(
+        WorkloadProfile(),
+        cond_mixture=(("monotonic", 0.5), ("random", 0.2)),
+    )
+    with pytest.raises(ConfigError):
+        profile.validate()

@@ -1,0 +1,128 @@
+"""Tests for the trace-cache storage array."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstrKind
+from repro.tc.cache import TraceCache
+from repro.tc.config import TcConfig
+from repro.tc.trace_line import TraceEntry, TraceLine
+
+
+def line_at(start_ip, taken=False, length=3):
+    entries = []
+    ip = start_ip
+    for i in range(length - 1):
+        entries.append(TraceEntry(
+            Instruction(ip=ip, size=2, kind=InstrKind.ALU, num_uops=2), False
+        ))
+        ip += 2
+    entries.append(TraceEntry(
+        Instruction(ip=ip, size=2, kind=InstrKind.COND_BRANCH,
+                    num_uops=1, target=0x9000),
+        taken,
+    ))
+    return TraceLine(entries)
+
+
+@pytest.fixture()
+def cache():
+    return TraceCache(TcConfig(total_uops=1024))  # 16 sets, 4 ways
+
+
+def test_insert_then_lookup(cache):
+    line = line_at(0x100)
+    cache.insert(line)
+    assert cache.lookup(0x100) is line
+    assert cache.lookup(0x102) is None
+
+
+def test_no_path_associativity(cache):
+    # Two different paths from the same start IP cannot coexist.
+    taken = line_at(0x100, taken=True)
+    not_taken = line_at(0x100, taken=False)
+    cache.insert(taken)
+    cache.insert(not_taken)
+    assert cache.lookup(0x100) is not_taken
+    assert cache.replacements == 1
+
+
+def test_same_path_refreshes_only(cache):
+    cache.insert(line_at(0x100, taken=True))
+    cache.insert(line_at(0x100, taken=True))
+    assert cache.same_path_refreshes == 1
+    assert cache.inserts == 1
+
+
+def test_lru_eviction_within_set(cache):
+    sets = cache.num_sets
+    starts = [0x100 + 2 * sets * i for i in range(5)]  # same set
+    for start in starts[:4]:
+        cache.insert(line_at(start))
+    cache.lookup(starts[0])           # refresh the oldest
+    cache.insert(line_at(starts[4]))  # evicts starts[1]
+    assert cache.lookup(starts[0]) is not None
+    assert cache.lookup(starts[1]) is None
+
+
+def test_redundancy_measures_duplicates(cache):
+    # Traces starting at 0x100 and 0x102 share the tail instructions.
+    cache.insert(line_at(0x100, length=4))
+    inner = line_at(0x102, length=3)
+    cache.insert(inner)
+    assert cache.redundancy() > 1.0
+
+
+def test_redundancy_of_disjoint_lines_is_one(cache):
+    cache.insert(line_at(0x100))
+    cache.insert(line_at(0x900))
+    assert cache.redundancy() == 1.0
+
+
+def test_stored_uops(cache):
+    cache.insert(line_at(0x100, length=3))  # 2+2+1 uops
+    assert cache.stored_uops() == 5
+
+
+class TestPathAssociativity:
+    @pytest.fixture()
+    def pa_cache(self):
+        return TraceCache(TcConfig(total_uops=1024, path_associativity=True))
+
+    def test_same_start_paths_coexist(self, pa_cache):
+        taken = line_at(0x100, taken=True)
+        not_taken = line_at(0x100, taken=False)
+        pa_cache.insert(taken)
+        pa_cache.insert(not_taken)
+        candidates = pa_cache.lookup_all(0x100)
+        assert len(candidates) == 2
+        assert {line.entries[-1].taken for line in candidates} == {True, False}
+
+    def test_same_path_refreshes(self, pa_cache):
+        pa_cache.insert(line_at(0x100, taken=True))
+        pa_cache.insert(line_at(0x100, taken=True))
+        assert pa_cache.same_path_refreshes == 1
+        assert len(pa_cache.lookup_all(0x100)) == 1
+
+    def test_contains_matches_any_path(self, pa_cache):
+        pa_cache.insert(line_at(0x100, taken=True))
+        assert pa_cache.contains(0x100)
+        assert not pa_cache.contains(0x102)
+
+    def test_touch_refreshes_specific_line(self, pa_cache):
+        taken = line_at(0x100, taken=True)
+        not_taken = line_at(0x100, taken=False)
+        pa_cache.insert(taken)
+        pa_cache.insert(not_taken)
+        pa_cache.touch(taken)
+        assert pa_cache.lookup_all(0x100)[0] is taken
+
+    def test_frontend_runs_with_path_assoc(self, medium_trace):
+        from repro.frontend.config import FrontendConfig
+        from repro.tc.frontend import TcFrontend
+
+        stats = TcFrontend(
+            FrontendConfig(),
+            TcConfig(total_uops=4096, path_associativity=True),
+        ).run(medium_trace)
+        assert stats.total_uops == medium_trace.total_uops
+        assert stats.uops_from_structure > 0

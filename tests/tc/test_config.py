@@ -1,0 +1,35 @@
+"""Tests for trace-cache configuration."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.tc.config import TcConfig
+
+
+def test_default_geometry():
+    config = TcConfig()
+    config.validate()
+    assert config.num_sets * config.assoc * config.line_uops == config.total_uops
+
+
+def test_paper_baseline_shape():
+    # §4: 4-way, 16-uop lines, 3 branches max.
+    config = TcConfig()
+    assert config.assoc == 4
+    assert config.line_uops == 16
+    assert config.max_cond_branches == 3
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(assoc=0),
+        dict(line_uops=2),
+        dict(max_cond_branches=0),
+        dict(total_uops=1000),          # not divisible
+        dict(total_uops=16 * 4 * 3),    # 3 sets: not a power of two
+    ],
+)
+def test_invalid_configs(kwargs):
+    with pytest.raises(ConfigError):
+        TcConfig(**kwargs).validate()

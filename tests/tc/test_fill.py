@@ -1,0 +1,102 @@
+"""Tests for the trace-cache fill unit."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstrKind
+from repro.tc.config import TcConfig
+from repro.tc.fill import TcFillUnit
+from repro.trace.record import DynInstr
+
+
+def rec(ip, kind=InstrKind.ALU, uops=1, taken=False, target=None):
+    if kind in (InstrKind.COND_BRANCH, InstrKind.JUMP, InstrKind.CALL):
+        target = target or 0x9000
+    instr = Instruction(ip=ip, size=2, kind=kind, num_uops=uops, target=target)
+    next_ip = target if taken and target else instr.next_ip
+    return DynInstr(instr=instr, taken=taken, next_ip=next_ip)
+
+
+@pytest.fixture()
+def fill():
+    return TcFillUnit(TcConfig(total_uops=1024))
+
+
+def feed_all(fill, records):
+    lines = []
+    for record in records:
+        lines.extend(fill.feed(record))
+    return lines
+
+
+class TestEndConditions:
+    def test_quota_ends_trace(self, fill):
+        records = [rec(0x100 + 2 * i, uops=2) for i in range(8)]  # 16 uops
+        lines = feed_all(fill, records)
+        assert len(lines) == 1
+        assert lines[0].total_uops == 16
+
+    def test_quota_respects_instruction_atomicity(self, fill):
+        records = [rec(0x100 + 2 * i, uops=3) for i in range(6)]  # 18 uops
+        lines = feed_all(fill, records)
+        assert len(lines) == 1
+        assert lines[0].total_uops == 15  # five 3-uop instructions
+
+    def test_third_branch_ends_trace(self, fill):
+        records = []
+        ip = 0x100
+        for _ in range(3):
+            records.append(rec(ip))
+            ip += 2
+            records.append(rec(ip, InstrKind.COND_BRANCH, taken=False))
+            ip += 2
+        lines = feed_all(fill, records)
+        assert len(lines) == 1
+        assert lines[0].num_cond_branches == 3
+
+    @pytest.mark.parametrize(
+        "kind",
+        [InstrKind.INDIRECT_JUMP, InstrKind.INDIRECT_CALL, InstrKind.RETURN],
+    )
+    def test_indirect_kind_ends_trace(self, fill, kind):
+        records = [rec(0x100), rec(0x102, kind, taken=True)]
+        lines = feed_all(fill, records)
+        assert len(lines) == 1
+        assert len(lines[0]) == 2
+
+    def test_jumps_and_calls_embedded(self, fill):
+        records = [
+            rec(0x100),
+            rec(0x102, InstrKind.JUMP, taken=True),
+            rec(0x9000),
+            rec(0x9002, InstrKind.CALL, taken=True),
+            rec(0x100),
+            rec(0x102, InstrKind.RETURN if False else InstrKind.COND_BRANCH,
+                taken=False),
+        ]
+        lines = feed_all(fill, records)
+        assert lines == []  # nothing ended the trace yet
+        assert fill.pending_instructions == 6
+
+    def test_quota_and_end_on_same_instruction(self, fill):
+        # 15 uops pending, then a 2-uop return: quota cut AND end.
+        records = [rec(0x100 + 2 * i, uops=3) for i in range(5)]
+        records.append(rec(0x200, InstrKind.RETURN, uops=2, taken=True))
+        lines = feed_all(fill, records)
+        assert len(lines) == 2
+        assert lines[0].total_uops == 15
+        assert lines[1].total_uops == 2
+
+
+class TestAbandon:
+    def test_abandon_discards_pending(self, fill):
+        fill.feed(rec(0x100))
+        fill.abandon()
+        assert fill.pending_instructions == 0
+        lines = feed_all(fill, [rec(0x200, InstrKind.RETURN, taken=True)])
+        assert len(lines) == 1
+        assert lines[0].start_ip == 0x200
+
+    def test_completed_counter(self, fill):
+        feed_all(fill, [rec(0x100, InstrKind.RETURN, taken=True)])
+        feed_all(fill, [rec(0x200, InstrKind.RETURN, taken=True)])
+        assert fill.completed_traces == 2

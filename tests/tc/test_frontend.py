@@ -1,0 +1,59 @@
+"""Behavioural tests for the TC frontend."""
+
+import pytest
+
+from repro.frontend.config import FrontendConfig
+from repro.tc.config import TcConfig
+from repro.tc.frontend import TcFrontend
+
+
+@pytest.fixture(scope="module")
+def stats_medium(medium_trace):
+    # module scope may depend on the session-scoped trace fixture.
+    return TcFrontend(FrontendConfig(), TcConfig(total_uops=4096)).run(medium_trace)
+
+
+def test_uop_conservation(stats_medium, medium_trace):
+    assert stats_medium.total_uops == medium_trace.total_uops
+    assert stats_medium.retired_uops == medium_trace.total_uops
+
+
+def test_delivery_mode_engages(stats_medium):
+    assert stats_medium.uops_from_structure > 0
+    assert stats_medium.switches_to_delivery > 0
+    assert stats_medium.delivery_cycles > 0
+
+
+def test_miss_rate_in_sane_range(stats_medium):
+    assert 0.0 < stats_medium.uop_miss_rate < 0.8
+
+
+def test_bandwidth_beats_ic_frontend(medium_trace):
+    from repro.frontend.ic_frontend import ICFrontend
+
+    tc = TcFrontend(FrontendConfig(), TcConfig(total_uops=8192)).run(medium_trace)
+    ic = ICFrontend(FrontendConfig()).run(medium_trace)
+    assert tc.overall_bandwidth > ic.overall_bandwidth
+
+
+def test_bigger_cache_misses_less(medium_trace):
+    small = TcFrontend(FrontendConfig(), TcConfig(total_uops=1024)).run(medium_trace)
+    large = TcFrontend(FrontendConfig(), TcConfig(total_uops=16384)).run(medium_trace)
+    assert large.uop_miss_rate < small.uop_miss_rate
+
+
+def test_redundancy_reported(stats_medium):
+    assert stats_medium.extra["tc_redundancy_x1000"] >= 1000
+
+
+def test_mode_switches_roughly_balance(stats_medium):
+    delta = abs(
+        stats_medium.switches_to_delivery - stats_medium.switches_to_build
+    )
+    assert delta <= 1
+
+
+def test_suite_coverage(suite_traces):
+    for suite, trace in suite_traces.items():
+        stats = TcFrontend(FrontendConfig(), TcConfig(total_uops=4096)).run(trace)
+        assert stats.total_uops == trace.total_uops, suite

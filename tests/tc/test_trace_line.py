@@ -1,0 +1,42 @@
+"""Tests for the trace-line structure."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstrKind
+from repro.tc.trace_line import TraceEntry, TraceLine
+
+
+def entry(ip, kind=InstrKind.ALU, uops=1, taken=False, target=None):
+    if kind in (InstrKind.COND_BRANCH, InstrKind.JUMP, InstrKind.CALL):
+        target = target or 0x9000
+    instr = Instruction(ip=ip, size=2, kind=kind, num_uops=uops, target=target)
+    return TraceEntry(instr=instr, taken=taken)
+
+
+def test_basic_properties():
+    line = TraceLine([
+        entry(0x100, uops=2),
+        entry(0x102, InstrKind.COND_BRANCH, taken=True),
+        entry(0x300, uops=3),
+    ])
+    assert line.start_ip == 0x100
+    assert line.total_uops == 6
+    assert line.num_cond_branches == 1
+    assert len(line) == 3
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        TraceLine([])
+
+
+def test_path_signature_distinguishes_directions():
+    a = TraceLine([entry(0x100, InstrKind.COND_BRANCH, taken=True)])
+    b = TraceLine([entry(0x100, InstrKind.COND_BRANCH, taken=False)])
+    assert not a.same_path_as(b)
+    assert a.same_path_as(a)
+
+
+def test_uop_ips_repeats_per_uop():
+    line = TraceLine([entry(0x100, uops=3), entry(0x102, uops=1)])
+    assert line.uop_ips() == [0x100, 0x100, 0x100, 0x102]

@@ -1,0 +1,151 @@
+"""Tests for the Figure-1 block-length statistics."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.blockstats import (
+    QUOTA,
+    compute_block_stats,
+    measure_branch_bias,
+    monotonic_branches,
+)
+from repro.trace.record import DynInstr, Trace
+
+
+def alu(ip, uops=1, size=2):
+    return Instruction(ip=ip, size=size, kind=InstrKind.ALU, num_uops=uops)
+
+
+def cond(ip, target=0x9000):
+    return Instruction(
+        ip=ip, size=2, kind=InstrKind.COND_BRANCH, num_uops=1, target=target
+    )
+
+
+def jump(ip, target=0x9000):
+    return Instruction(ip=ip, size=2, kind=InstrKind.JUMP, num_uops=1, target=target)
+
+
+def rec(instr, taken=False, next_ip=None):
+    return DynInstr(instr=instr, taken=taken, next_ip=next_ip or instr.next_ip)
+
+
+def make_trace(records):
+    return Trace(records=records, name="hand", suite="test")
+
+
+class TestHandBuiltTraces:
+    def test_simple_blocks(self):
+        # 3 ALU uops then a cond branch: one 4-uop block in every series.
+        records = [
+            rec(alu(0x100)), rec(alu(0x102)), rec(alu(0x104)),
+            rec(cond(0x106), taken=True, next_ip=0x200),
+        ]
+        stats = compute_block_stats(make_trace(records))
+        assert stats.basic_block.items() == [(4, 1)]
+        assert stats.xb.items() == [(4, 1)]
+
+    def test_jump_ends_basic_block_but_not_xb(self):
+        records = [
+            rec(alu(0x100)),
+            rec(jump(0x102), taken=True, next_ip=0x200),
+            rec(alu(0x200)),
+            rec(cond(0x202), taken=False),
+        ]
+        stats = compute_block_stats(make_trace(records))
+        # basic blocks: [alu, jump] and [alu, cond] => two 2-uop blocks
+        assert stats.basic_block.items() == [(2, 2)]
+        # XB: jump does not end => one 4-uop block
+        assert stats.xb.items() == [(4, 1)]
+
+    def test_quota_cut_at_16(self):
+        records = [rec(alu(0x100 + 2 * i)) for i in range(20)]
+        records.append(rec(cond(0x100 + 40), taken=False))
+        stats = compute_block_stats(make_trace(records))
+        lengths = sorted(v for v, _ in stats.xb.items())
+        assert max(lengths) <= QUOTA
+        assert sum(v * c for v, c in stats.xb.items()) == 21
+
+    def test_instruction_atomicity_at_quota(self):
+        # 15 uops then a 4-uop instruction: the block must cut at 15.
+        records = [rec(alu(0x100 + 2 * i)) for i in range(15)]
+        records.append(rec(alu(0x200, uops=4)))
+        records.append(rec(cond(0x204), taken=False))
+        stats = compute_block_stats(make_trace(records))
+        assert (15, 1) in stats.xb.items()
+        assert (5, 1) in stats.xb.items()
+
+    def test_dual_xb_pairs_and_caps(self):
+        # Two XBs of 10 uops each: the dual unit caps at the 16-uop quota.
+        records = []
+        for base in (0x100, 0x300):
+            records.extend(rec(alu(base + 2 * i)) for i in range(9))
+            records.append(rec(cond(base + 18), taken=False))
+        stats = compute_block_stats(make_trace(records))
+        assert stats.dual_xb.items() == [(16, 1)]
+
+    def test_trailing_open_block_flushed(self):
+        records = [rec(alu(0x100)), rec(alu(0x102))]
+        stats = compute_block_stats(make_trace(records))
+        assert stats.basic_block.total == 1
+        assert stats.basic_block.mean == 2.0
+
+
+class TestPromotionSeries:
+    def _biased_loop_trace(self, bias_ip=0x106, executions=100):
+        """A monotonically not-taken branch between two runs."""
+        records = []
+        for _ in range(executions):
+            records.append(rec(alu(0x100)))
+            records.append(rec(alu(0x102)))
+            records.append(rec(alu(0x104)))
+            records.append(rec(cond(bias_ip), taken=False))
+            records.append(rec(alu(0x108)))
+            records.append(rec(cond(0x10A, target=0x100), taken=True,
+                                next_ip=0x100))
+        return make_trace(records)
+
+    def test_monotonic_branch_merges_blocks(self):
+        stats = compute_block_stats(self._biased_loop_trace())
+        # Without promotion: XBs of 4 and 2 uops. With promotion the
+        # not-taken cond at 0x106 stops ending blocks: 6-uop blocks appear.
+        assert stats.xb.mean < stats.xb_promoted.mean
+        assert any(v >= 6 for v, _ in stats.xb_promoted.items())
+
+    def test_bias_measurement(self):
+        trace = self._biased_loop_trace()
+        bias = measure_branch_bias(trace.records)
+        assert bias[0x106] == 0.0
+        assert bias[0x10A] == 1.0
+
+    def test_monotonic_requires_min_executions(self):
+        trace = self._biased_loop_trace(executions=3)
+        bias = measure_branch_bias(trace.records)
+        counts = {0x106: 3, 0x10A: 3}
+        promoted = monotonic_branches(bias, counts, min_executions=16)
+        assert not promoted[0x106]
+        promoted = monotonic_branches(bias, counts, min_executions=2)
+        assert promoted[0x106]
+
+
+class TestOnRealTrace:
+    def test_means_ordering(self, small_trace):
+        stats = compute_block_stats(small_trace)
+        means = stats.means()
+        assert means["XB"] >= means["basic block"]
+        assert means["XB w/ promotion"] >= means["XB"]
+        assert means["dual XB"] >= means["XB"]
+        assert all(0 < m <= QUOTA for m in means.values())
+
+    def test_all_uops_accounted(self, small_trace):
+        stats = compute_block_stats(small_trace)
+        bb_uops = sum(v * c for v, c in stats.basic_block.items())
+        xb_uops = sum(v * c for v, c in stats.xb.items())
+        assert bb_uops == small_trace.total_uops
+        assert xb_uops == small_trace.total_uops
+
+    def test_merged_with(self, small_trace):
+        stats = compute_block_stats(small_trace)
+        merged = stats.merged_with(stats)
+        assert merged.xb.total == 2 * stats.xb.total
+        assert merged.xb.mean == pytest.approx(stats.xb.mean)

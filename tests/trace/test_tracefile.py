@@ -1,0 +1,74 @@
+"""Tests for trace serialization."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace.tracefile import (
+    load_trace,
+    save_trace,
+    trace_from_string,
+    trace_to_string,
+)
+
+
+class TestRoundTrip:
+    def test_roundtrip_equality(self, small_trace):
+        text = trace_to_string(small_trace)
+        loaded = trace_from_string(text)
+        assert len(loaded) == len(small_trace)
+        assert loaded.name == small_trace.name
+        assert loaded.suite == small_trace.suite
+        assert loaded.seed == small_trace.seed
+        for a, b in zip(small_trace.records, loaded.records):
+            assert a.ip == b.ip
+            assert a.taken == b.taken
+            assert a.next_ip == b.next_ip
+            assert a.instr.kind == b.instr.kind
+            assert a.instr.num_uops == b.instr.num_uops
+            assert a.instr.size == b.instr.size
+            assert a.instr.target == b.instr.target
+
+    def test_roundtrip_total_uops(self, small_trace):
+        loaded = trace_from_string(trace_to_string(small_trace))
+        assert loaded.total_uops == small_trace.total_uops
+
+    def test_file_roundtrip(self, small_trace, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert len(loaded) == len(small_trace)
+
+    def test_static_instructions_shared(self, small_trace):
+        loaded = trace_from_string(trace_to_string(small_trace))
+        seen = {}
+        for record in loaded.records:
+            previous = seen.setdefault(record.ip, record.instr)
+            assert previous is record.instr  # one object per static IP
+
+
+class TestErrorPaths:
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO("not-a-trace\n"))
+
+    def test_unknown_record_type(self):
+        text = "xbc-trace-v1 name=- suite=- seed=0 n=1\nz 1 2 3\n"
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(text))
+
+    def test_dynamic_before_static(self):
+        text = "xbc-trace-v1 name=- suite=- seed=0 n=1\nd 100 0 102\n"
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(text))
+
+    def test_garbled_fields(self):
+        text = "xbc-trace-v1 name=- suite=- seed=0 n=1\ni 1 x A 1 -1\n"
+        with pytest.raises(TraceFormatError):
+            load_trace(io.StringIO(text))
+
+    def test_error_mentions_line_number(self):
+        text = "xbc-trace-v1 name=- suite=- seed=0 n=1\nz 1\n"
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace(io.StringIO(text))

@@ -1,0 +1,165 @@
+"""Tests for the XFU build algorithm (§3.3's cases)."""
+
+import pytest
+
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.xbc.config import XbcConfig
+from repro.xbc.fill import XbcFillUnit, common_suffix_len
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb
+
+
+def uops_for(ip, count):
+    return [(ip + 2 * i) << 4 for i in range(count)]
+
+
+def make_fill(policy="complex"):
+    config = XbcConfig(total_uops=128, xbtb_entries=32, xbtb_assoc=4,
+                       overlap_policy=policy)
+    storage = XbcStorage(config)
+    xbtb = Xbtb(config)
+    stats = FrontendStats()
+    return XbcFillUnit(config, storage, xbtb, stats), storage, xbtb, stats
+
+
+class TestCommonSuffix:
+    def test_full_match(self):
+        assert common_suffix_len([1, 2, 3], [1, 2, 3]) == 3
+
+    def test_partial(self):
+        assert common_suffix_len([9, 2, 3], [1, 2, 3]) == 2
+
+    def test_none(self):
+        assert common_suffix_len([1, 2], [3, 4]) == 0
+
+    def test_different_lengths(self):
+        assert common_suffix_len([2, 3], [0, 1, 2, 3]) == 2
+
+
+class TestCases:
+    def test_case0_fresh_insert(self):
+        fill, storage, xbtb, stats = make_fill()
+        uops = uops_for(0x100, 6)
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, uops)
+        assert ptr is not None and ptr.offset == 6
+        assert storage.read_variant(0x900, ptr.mask) == uops
+        assert stats.extra["xfu_fresh_inserts"] == 1
+        assert entry.variants[0].length == 6
+
+    def test_case1_contained(self):
+        fill, storage, _, stats = make_fill()
+        full = uops_for(0x100, 8)
+        fill.install(0x900, InstrKind.COND_BRANCH, full)
+        # Re-entry deeper inside the same XB: suffix of the stored copy.
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, full[3:])
+        assert stats.extra["xfu_case1_contained"] == 1
+        assert ptr.offset == 5
+        assert storage.inserts == 1  # nothing new stored
+
+    def test_case2_extension(self):
+        fill, storage, _, stats = make_fill()
+        suffix = uops_for(0x200, 5)
+        fill.install(0x900, InstrKind.COND_BRANCH, suffix)
+        longer = uops_for(0x100, 4) + suffix
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, longer)
+        assert stats.extra["xfu_case2_extended"] == 1
+        assert ptr.offset == 9
+        assert storage.read_variant(0x900, ptr.mask) == longer
+        assert len(entry.variants) == 1  # extended in place, not duplicated
+
+    def test_case3_complex_variant(self):
+        fill, storage, _, stats = make_fill()
+        suffix = uops_for(0x300, 8)
+        v1 = uops_for(0x100, 4) + suffix
+        fill.install(0x900, InstrKind.COND_BRANCH, v1)
+        v2 = uops_for(0x200, 4) + suffix
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, v2)
+        assert stats.extra["xfu_case3_complex"] == 1
+        assert entry.variants[-1].read(storage, 0x900) == v2
+        assert len(entry.variants) == 2
+
+    def test_exact_duplicate_is_case1(self):
+        fill, storage, _, stats = make_fill()
+        uops = uops_for(0x100, 6)
+        fill.install(0x900, InstrKind.COND_BRANCH, uops)
+        fill.install(0x900, InstrKind.COND_BRANCH, uops)
+        assert stats.extra["xfu_case1_contained"] == 1
+        assert storage.inserts == 1
+
+    def test_stale_variant_reinserted(self):
+        fill, storage, xbtb, stats = make_fill()
+        uops = uops_for(0x100, 6)
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, uops)
+        # Evict everything of this tag behind the XBTB's back.
+        storage._purge_tag(storage.index_of(0x900), 0x900)
+        entry2, ptr2 = fill.install(0x900, InstrKind.COND_BRANCH, uops)
+        assert ptr2 is not None
+        assert storage.read_variant(0x900, ptr2.mask) == uops
+        assert stats.extra["xfu_fresh_inserts"] == 2
+
+
+class TestTruncationFallback:
+    def _three_variants(self):
+        """Three 16-uop variants of one XB: the first two fit by sharing
+        banks in different ways (§3.3's placement hint); the third finds
+        every way of every non-suffix bank holding this tag already."""
+        fill, storage, xbtb, stats = make_fill()
+        suffix = uops_for(0x300, 4)  # one full shared line
+        pointers = []
+        for base in (0x100, 0x200, 0x400):
+            v = uops_for(base, 12) + suffix
+            entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, v)
+            pointers.append((v, ptr))
+        return fill, storage, xbtb, stats, entry, suffix, pointers
+
+    def test_way_sharing_fits_two_deep_variants(self):
+        _fill, storage, _xbtb, stats, entry, _suffix, pointers = (
+            self._three_variants()
+        )
+        # The first two coexisted without truncation.
+        assert stats.extra.get("xfu_case3_complex", 0) >= 2
+        assert pointers[0][1] is not None
+        assert pointers[1][1] is not None
+
+    def test_saturated_set_truncates_and_places(self):
+        """Regression: a tag whose deep prefixes fill the set must not
+        become permanently unplaceable (it would stay IC-served forever)."""
+        _fill, storage, _xbtb, stats, entry, _suffix, pointers = (
+            self._three_variants()
+        )
+        v3, p3 = pointers[2]
+        assert p3 is not None
+        assert entry.variants[-1].read(storage, 0x900) == v3
+        assert stats.extra.get("xfu_truncations", 0) == 1
+        assert stats.extra.get("xfu_unplaced", 0) == 0
+
+    def test_truncation_preserves_shared_suffix_entries(self):
+        _fill, storage, _xbtb, _stats, _entry, suffix, pointers = (
+            self._three_variants()
+        )
+        _v3, p3 = pointers[2]
+        # An entry covering only the shared suffix still probes fine.
+        assert storage.probe(0x900, p3.mask, 4, list(reversed(suffix)))
+
+
+class TestSplitPolicy:
+    def test_split_creates_prefix_xb(self):
+        fill, storage, xbtb, stats = make_fill(policy="split")
+        suffix = uops_for(0x300, 8)
+        v1 = uops_for(0x100, 4) + suffix
+        fill.install(0x900, InstrKind.COND_BRANCH, v1)
+        prefix2 = uops_for(0x200, 4)
+        v2 = prefix2 + suffix
+        entry, ptr = fill.install(0x900, InstrKind.COND_BRANCH, v2)
+        assert stats.extra["xfu_case3_split"] == 1
+        # The returned pointer covers only the prefix...
+        assert ptr.offset == 4
+        prefix_ip = (0x200 + 2 * 3)  # ip of the prefix's last instruction
+        assert ptr.xb_ip == prefix_ip
+        # ...and the prefix entry chains to the shared suffix.
+        prefix_entry = xbtb.peek(prefix_ip)
+        assert prefix_entry is not None
+        assert prefix_entry.nt_ptr is not None
+        assert prefix_entry.nt_ptr.xb_ip == 0x900
+        assert prefix_entry.nt_ptr.offset == 8

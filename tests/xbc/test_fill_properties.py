@@ -1,0 +1,110 @@
+"""Property-based tests of the XFU build algorithm.
+
+The invariant that makes the XBC sound: after ``install`` returns a
+pointer, the data array must serve exactly the installed occurrence's
+uops through that pointer — whatever sequence of containments,
+extensions, sibling prefixes, truncations and way-sharing placements
+led up to it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.xbc.config import XbcConfig
+from repro.xbc.fill import XbcFillUnit
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb
+
+
+def uops_for(ip, count):
+    return [(ip + 2 * i) << 4 for i in range(count)]
+
+
+# An XB family: one shared suffix reached through several prefixes.
+# Occurrences are (prefix_index, entry_offset) pairs.
+families = st.builds(
+    lambda sfx_len, prefix_lens: (sfx_len, prefix_lens),
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=1, max_value=8), min_size=1, max_size=4),
+)
+
+
+@st.composite
+def install_sequences(draw):
+    sfx_len, prefix_lens = draw(families)
+    # keep every occurrence within the 16-uop XB limit
+    prefix_lens = [min(p, 16 - sfx_len) for p in prefix_lens]
+    prefix_lens = [p for p in prefix_lens if p > 0] or [1]
+    suffix = uops_for(0x9000, sfx_len)
+    prefixes = [
+        uops_for(0x1000 * (i + 1), length)
+        for i, length in enumerate(prefix_lens)
+    ]
+    count = draw(st.integers(min_value=1, max_value=12))
+    occurrences = []
+    for _ in range(count):
+        which = draw(st.integers(min_value=0, max_value=len(prefixes) - 1))
+        full = prefixes[which] + suffix
+        # entry anywhere inside the occurrence (suffix of `full`)
+        offset = draw(st.integers(min_value=1, max_value=len(full)))
+        occurrences.append(full[len(full) - offset:])
+    return occurrences
+
+
+@given(occurrences=install_sequences(),
+       policy=st.sampled_from(["complex", "split"]))
+@settings(max_examples=300, deadline=None)
+def test_install_pointer_always_serves_occurrence(occurrences, policy):
+    config = XbcConfig(total_uops=128, xbtb_entries=32, xbtb_assoc=4,
+                       overlap_policy=policy)
+    storage = XbcStorage(config)
+    xbtb = Xbtb(config)
+    stats = FrontendStats()
+    fill = XbcFillUnit(config, storage, xbtb, stats)
+    xb_ip = 0x9000 + 2 * 7  # just a stable identity for the family end
+
+    for occurrence in occurrences:
+        entry, ptr = fill.install(xb_ip, InstrKind.COND_BRANCH, occurrence)
+        if ptr is None:
+            continue  # placement failure is legal; silence is not checked
+        # The pointer must serve the occurrence: under the split policy
+        # it may cover only the leading prefix of the occurrence.
+        if ptr.xb_ip == xb_ip:
+            covered = occurrence
+        else:
+            covered = occurrence[: ptr.offset]
+        assert ptr.offset == len(covered)
+        expected_rev = list(reversed(covered))
+        mapping = storage.probe(ptr.xb_ip, ptr.mask, ptr.offset, expected_rev)
+        if mapping is None:
+            # stale mask after internal reshuffling must be repairable
+            found = storage.set_search(ptr.xb_ip, ptr.offset, expected_rev)
+            assert found is not None, "pointer unservable right after install"
+
+
+@given(occurrences=install_sequences())
+@settings(max_examples=150, deadline=None)
+def test_variant_records_stay_consistent(occurrences):
+    config = XbcConfig(total_uops=128, xbtb_entries=32, xbtb_assoc=4)
+    storage = XbcStorage(config)
+    xbtb = Xbtb(config)
+    fill = XbcFillUnit(config, storage, xbtb, FrontendStats())
+    xb_ip = 0x9000 + 2 * 7
+
+    for occurrence in occurrences:
+        entry, _ptr = fill.install(xb_ip, InstrKind.COND_BRANCH, occurrence)
+        for variant in entry.valid_variants(storage):
+            content = variant.read(storage, xb_ip)
+            assert content is not None
+            assert len(content) >= variant.length
+            # every live variant of one XB shares the XB's true suffix
+            n = min(len(content), len(occurrence))
+            tail_a = content[-n:]
+            tail_b = occurrence[-n:]
+            # suffix agreement holds up to the shared part
+            shared = 0
+            while (shared < n
+                   and tail_a[n - 1 - shared] == tail_b[n - 1 - shared]):
+                shared += 1
+            assert shared >= 1  # at least the ending instruction's uop

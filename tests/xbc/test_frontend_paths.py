@@ -1,0 +1,260 @@
+"""Targeted XBC-frontend path tests on hand-crafted traces.
+
+Each scenario pins one §3 mechanism: promotion and combined fetches,
+promotion misses and de-promotion, bank-conflict deferral, XRSB-based
+return prediction, and split-prefix delivery chains.
+"""
+
+from typing import List
+
+import pytest
+
+from repro.frontend.config import FrontendConfig
+from repro.isa.instruction import Instruction, InstrKind
+from repro.trace.record import DynInstr, Trace
+from repro.xbc.config import XbcConfig
+from repro.xbc.frontend import XbcFrontend
+
+
+class TraceBuilder:
+    """Composable builder for consistent dynamic instruction streams."""
+
+    def __init__(self) -> None:
+        self.records: List[DynInstr] = []
+        self._instrs = {}
+
+    def _instr(self, ip, kind, uops, size, target=None):
+        key = (ip, kind, uops, size, target)
+        if key not in self._instrs:
+            self._instrs[key] = Instruction(
+                ip=ip, size=size, kind=kind, num_uops=uops, target=target
+            )
+        return self._instrs[key]
+
+    def alus(self, start_ip, count, uops=1, size=2):
+        ip = start_ip
+        for _ in range(count):
+            instr = self._instr(ip, InstrKind.ALU, uops, size)
+            self.records.append(DynInstr(instr, False, instr.next_ip))
+            ip += size
+        return ip
+
+    def cond(self, ip, taken, target, size=2):
+        instr = self._instr(ip, InstrKind.COND_BRANCH, 1, size, target)
+        next_ip = target if taken else instr.next_ip
+        self.records.append(DynInstr(instr, taken, next_ip))
+        return next_ip
+
+    def call(self, ip, target, size=3):
+        instr = self._instr(ip, InstrKind.CALL, 2, size, target)
+        self.records.append(DynInstr(instr, True, target))
+        return instr.next_ip
+
+    def ret(self, ip, return_to, size=1):
+        instr = self._instr(ip, InstrKind.RETURN, 2, size)
+        self.records.append(DynInstr(instr, True, return_to))
+
+    def jump(self, ip, target, size=2):
+        instr = self._instr(ip, InstrKind.JUMP, 1, size, target)
+        self.records.append(DynInstr(instr, True, target))
+
+    def indirect(self, ip, target, size=2):
+        instr = self._instr(ip, InstrKind.INDIRECT_JUMP, 1, size)
+        self.records.append(DynInstr(instr, True, target))
+
+    def trace(self):
+        return Trace(records=self.records, name="crafted")
+
+
+def run_xbc(trace, **config_kwargs):
+    config = XbcConfig(**{"total_uops": 2048, **config_kwargs})
+    return XbcFrontend(FrontendConfig(), config).run(trace)
+
+
+class TestPromotionPaths:
+    def _loop_trace(self, iterations, wrong_every=0):
+        """XB_A (monotonic taken cond) -> XB_B (loop-back cond)."""
+        b = TraceBuilder()
+        for i in range(iterations):
+            # XB_A: 4 alus + cond at 0x108 -> 0x200 (monotonic taken)
+            b.alus(0x100, 4)
+            wrong = wrong_every and i and i % wrong_every == 0
+            if wrong:
+                b.cond(0x108, False, 0x200)
+                b.alus(0x10A, 1)
+                b.jump(0x10C, 0x200)
+            else:
+                b.cond(0x108, True, 0x200)
+            # XB_B: 4 alus + loop-back cond at 0x208
+            b.alus(0x200, 4)
+            last = i == iterations - 1
+            b.cond(0x208, not last, 0x100)
+        b.alus(0x20A, 2)
+        b.cond(0x20E, False, 0x400)
+        return b.trace()
+
+    def test_monotonic_branch_promotes_and_combs(self):
+        stats = run_xbc(self._loop_trace(400))
+        assert stats.extra.get("promotions", 0) >= 1
+        assert stats.extra.get("comb_fetches", 0) > 50
+        assert stats.total_uops == self._loop_trace(400).total_uops
+
+    def test_promotion_survives_rare_misses(self):
+        stats = run_xbc(self._loop_trace(400, wrong_every=200))
+        assert stats.extra.get("promotions", 0) >= 1
+        assert stats.extra.get("promotion_misses", 0) >= 1
+        assert stats.extra.get("depromotions", 0) == 0
+
+    def test_sustained_misbehaviour_depromotes(self):
+        # Phase 1 promotes cleanly; in phase 2 the branch reverses its
+        # behaviour outright (the paper's misbehaving case), walking the
+        # bias counter off the rail past the de-promotion slack.
+        b = TraceBuilder()
+        for i in range(700):
+            b.alus(0x100, 4)
+            wrong = i > 400  # the branch's behaviour flips outright
+            if wrong:
+                b.cond(0x108, False, 0x200)
+                b.alus(0x10A, 1)
+                b.jump(0x10C, 0x200)
+            else:
+                b.cond(0x108, True, 0x200)
+            b.alus(0x200, 4)
+            b.cond(0x208, i != 699, 0x100)
+        b.alus(0x20A, 2)
+        b.cond(0x20E, False, 0x400)
+        trace = b.trace()
+        stats = run_xbc(trace)
+        assert stats.extra.get("promotions", 0) >= 1
+        assert stats.extra.get("depromotions", 0) >= 1
+        assert stats.total_uops == trace.total_uops
+
+    def test_promotion_disabled_baseline(self):
+        stats = run_xbc(self._loop_trace(400), enable_promotion=False)
+        assert "promotions" not in stats.extra
+        assert "comb_fetches" not in stats.extra
+
+
+class TestBankConflicts:
+    def _conflicting_pair(self, iterations):
+        """Two 13-uop XBs whose end IPs share a set: every dual fetch
+        conflicts on all four banks."""
+        b = TraceBuilder()
+        for i in range(iterations):
+            b.alus(0x100, 4, uops=3)       # 12 uops
+            b.cond(0x108, True, 0x200)     # end 0x108: set (0x84 & 3) = 0
+            b.alus(0x200, 4, uops=3)
+            last = i == iterations - 1
+            b.cond(0x208, not last, 0x100)  # end 0x208: set (0x104 & 3) = 0
+        b.alus(0x20A, 2)
+        b.cond(0x20E, False, 0x400)
+        return b.trace()
+
+    def test_conflicts_defer_and_count(self):
+        trace = self._conflicting_pair(300)
+        # total_uops=128 -> 4 sets; both XBs land in set 0.
+        stats = run_xbc(trace, total_uops=128, enable_dynamic_placement=False)
+        assert stats.extra.get("bank_conflict_deferrals", 0) > 50
+        assert stats.total_uops == trace.total_uops
+        # With every pair conflicting, fetch bandwidth approaches one
+        # 13-uop XB per fetch cycle instead of two.
+        assert stats.fetch_bandwidth < 15.0
+
+    def test_small_xbs_avoid_conflicts(self):
+        # Two 7-uop XBs need two banks each; smart placement (§3.10)
+        # puts consecutive XBs in disjoint banks, so the pair fetches
+        # in one cycle with no deferrals.
+        b = TraceBuilder()
+        for i in range(300):
+            b.alus(0x100, 2, uops=3)
+            b.cond(0x104, True, 0x202)
+            b.alus(0x202, 2, uops=3)
+            last = i == 299
+            b.cond(0x206, not last, 0x100)
+        b.alus(0x208, 2)
+        b.cond(0x20C, False, 0x400)
+        stats = run_xbc(b.trace(), total_uops=128,
+                        enable_dynamic_placement=False)
+        deferrals = stats.extra.get("bank_conflict_deferrals", 0)
+        conflicting = TestBankConflicts()._conflicting_pair(300)
+        heavy = run_xbc(conflicting, total_uops=128,
+                        enable_dynamic_placement=False)
+        assert deferrals < heavy.extra.get("bank_conflict_deferrals", 0)
+
+
+class TestReturnLinkage:
+    def _call_loop(self, iterations):
+        """main loop: call f; f returns; repeat (fixed call site)."""
+        b = TraceBuilder()
+        for i in range(iterations):
+            b.alus(0x100, 2)
+            b.call(0x104, 0x500)           # XB ends with the call
+            b.alus(0x500, 3)               # f body
+            b.ret(0x506, 0x107)            # back to call fallthrough
+            b.alus(0x107, 2)
+            last = i == iterations - 1
+            b.cond(0x10B, not last, 0x100)
+        b.alus(0x10D, 1)
+        b.cond(0x10F, False, 0x800)
+        return b.trace()
+
+    def test_returns_predicted_by_xrsb(self):
+        trace = self._call_loop(300)
+        stats = run_xbc(trace)
+        assert stats.return_predictions > 100
+        # After warmup the XRSB nails the fixed call/return pair.
+        assert stats.return_mispredicts < stats.return_predictions * 0.1
+        assert stats.total_uops == trace.total_uops
+
+    def test_delivery_mode_carries_the_loop(self):
+        stats = run_xbc(self._call_loop(300))
+        assert stats.uops_from_structure > stats.uops_from_ic
+
+
+class TestSplitPrefixDelivery:
+    def _two_prefix_trace(self, iterations):
+        """Two alternating jump-prefixes into one shared suffix.
+
+        The dispatcher is an indirect jump (the only legal way one
+        instruction reaches two places), alternating targets — a
+        pattern the history-hashed XiBTB learns.
+        """
+        b = TraceBuilder()
+        for i in range(iterations):
+            last = i == iterations - 1
+            prefix = 0x100 if i % 2 == 0 else 0x200
+            b.alus(prefix, 3)
+            b.jump(prefix + 6, 0x300)
+            b.alus(0x300, 4)               # shared suffix
+            b.cond(0x308, True, 0x400)     # suffix's ending branch
+            b.alus(0x400, 2)
+            if last:
+                b.cond(0x404, False, 0x900)
+            else:
+                b.cond(0x404, True, 0x500)
+                b.alus(0x500, 1)
+                b.indirect(0x502, 0x200 if i % 2 == 0 else 0x100)
+        b.alus(0x406, 1)
+        b.cond(0x408, False, 0x900)
+        return b.trace()
+
+    def test_split_policy_chains_deliver(self):
+        trace = self._two_prefix_trace(300)
+        stats = run_xbc(trace, overlap_policy="split")
+        assert stats.extra.get("xfu_case3_split", 0) >= 1
+        assert stats.uops_from_structure > 0
+        assert stats.total_uops == trace.total_uops
+
+    def test_complex_policy_on_same_trace(self):
+        trace = self._two_prefix_trace(300)
+        stats = run_xbc(trace, overlap_policy="complex")
+        assert stats.extra.get("xfu_case3_complex", 0) >= 1
+        assert stats.total_uops == trace.total_uops
+
+    def test_policies_agree_on_miss_rate_direction(self):
+        trace = self._two_prefix_trace(300)
+        complex_stats = run_xbc(trace, overlap_policy="complex")
+        split_stats = run_xbc(trace, overlap_policy="split")
+        # Both must keep the loop in delivery mode.
+        assert complex_stats.uop_miss_rate < 0.5
+        assert split_stats.uop_miss_rate < 0.5

@@ -1,0 +1,28 @@
+"""Tests for XB pointers."""
+
+import pytest
+
+from repro.xbc.pointer import XbPointer
+
+
+def test_matches():
+    ptr = XbPointer(0x900, 0b0011, 7)
+    assert ptr.matches(0x900, 7)
+    assert not ptr.matches(0x900, 6)
+    assert not ptr.matches(0x902, 7)
+
+
+def test_mask_is_mutable_for_set_search_repair():
+    ptr = XbPointer(0x900, 0b0011, 7)
+    ptr.mask = 0b1100
+    assert ptr.mask == 0b1100
+
+
+def test_offset_must_be_positive():
+    with pytest.raises(ValueError):
+        XbPointer(0x900, 0b0011, 0)
+
+
+def test_mask_must_be_non_negative():
+    with pytest.raises(ValueError):
+        XbPointer(0x900, -1, 3)

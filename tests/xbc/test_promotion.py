@@ -1,0 +1,123 @@
+"""Tests for branch promotion (§3.8)."""
+
+import pytest
+
+from repro.frontend.metrics import FrontendStats
+from repro.isa.instruction import InstrKind
+from repro.xbc.config import XbcConfig
+from repro.xbc.fill import XbcFillUnit
+from repro.xbc.pointer import XbPointer
+from repro.xbc.promotion import Promoter
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb
+
+
+def uops_for(ip, count):
+    return [(ip + 2 * i) << 4 for i in range(count)]
+
+
+def setup(enable=True, total_uops=256):
+    config = XbcConfig(total_uops=total_uops, xbtb_entries=64, xbtb_assoc=4,
+                       enable_promotion=enable)
+    storage = XbcStorage(config)
+    xbtb = Xbtb(config)
+    stats = FrontendStats()
+    fill = XbcFillUnit(config, storage, xbtb, stats)
+    promoter = Promoter(config, storage, xbtb, stats)
+    return config, storage, xbtb, stats, fill, promoter
+
+
+def install_pair(fill, xbtb, len0=5, len1=6):
+    """XB0 (cond-ended) whose taken path leads to XB1."""
+    uops0 = uops_for(0x100, len0)
+    uops1 = uops_for(0x200, len1)
+    e0, p0 = fill.install(0x900, InstrKind.COND_BRANCH, uops0)
+    e1, p1 = fill.install(0xA00, InstrKind.COND_BRANCH, uops1)
+    e0.set_pointer(True, p1)
+    return e0, e1, uops0, uops1
+
+
+class TestPromotion:
+    def test_saturated_counter_promotes(self):
+        _, storage, xbtb, stats, fill, promoter = setup()
+        e0, e1, uops0, uops1 = install_pair(fill, xbtb)
+        for _ in range(130):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is True
+        assert e0.forward_xb_ip == 0xA00
+        assert e0.forward_len1 == 6
+        assert stats.extra["promotions"] == 1
+        # XBcomb is a variant of XB1 containing XB0's uops then XB1's.
+        comb = [v for v in e1.variants if v.length == 11]
+        assert comb
+        assert storage.read_variant(0xA00, comb[0].mask) == uops0 + uops1
+
+    def test_not_taken_promotion(self):
+        _, storage, xbtb, stats, fill, promoter = setup()
+        e0, e1, uops0, uops1 = install_pair(fill, xbtb)
+        e0.set_pointer(False, e0.pointer_for(True))
+        e0.set_pointer(True, None) if False else None
+        for _ in range(130):
+            promoter.on_outcome(e0, False)
+        assert e0.promoted is False
+
+    def test_disabled_never_promotes(self):
+        _, _, xbtb, stats, fill, promoter = setup(enable=False)
+        e0, _, _, _ = install_pair(fill, xbtb)
+        for _ in range(200):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is None
+        assert "promotions" not in stats.extra
+
+    def test_oversized_combination_skipped(self):
+        _, _, xbtb, stats, fill, promoter = setup()
+        e0, _, _, _ = install_pair(fill, xbtb, len0=10, len1=10)
+        for _ in range(200):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is None
+        assert stats.extra["promotions_skipped_length"] > 0
+
+    def test_missing_pointer_skipped(self):
+        _, _, xbtb, stats, fill, promoter = setup()
+        uops0 = uops_for(0x100, 5)
+        e0, _ = fill.install(0x900, InstrKind.COND_BRANCH, uops0)
+        for _ in range(200):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is None
+
+    def test_non_cond_never_promotes(self):
+        _, _, xbtb, stats, fill, promoter = setup()
+        uops0 = uops_for(0x100, 5)
+        e0, _ = fill.install(0x900, InstrKind.CALL, uops0)
+        e0.set_pointer(True, XbPointer(0xA00, 0b0001, 4))
+        for _ in range(200):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is None
+
+
+class TestDepromotion:
+    def _promoted_entry(self):
+        config, storage, xbtb, stats, fill, promoter = setup()
+        e0, e1, _, _ = install_pair(fill, xbtb)
+        for _ in range(130):
+            promoter.on_outcome(e0, True)
+        assert e0.promoted is True
+        return e0, promoter, stats
+
+    def test_occasional_miss_keeps_promotion(self):
+        e0, promoter, stats = self._promoted_entry()
+        promoter.on_outcome(e0, False)
+        assert e0.promoted is True
+
+    def test_sustained_misbehaviour_demotes(self):
+        e0, promoter, stats = self._promoted_entry()
+        for _ in range(40):
+            promoter.on_outcome(e0, False)
+        assert e0.promoted is None
+        assert stats.extra["depromotions"] == 1
+
+    def test_counter_keeps_collecting_after_promotion(self):
+        e0, promoter, _ = self._promoted_entry()
+        value_before = e0.bias.value
+        promoter.on_outcome(e0, False)
+        assert e0.bias.value == value_before - 1

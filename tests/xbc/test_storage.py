@@ -1,0 +1,229 @@
+"""Tests for the banked XBC storage array."""
+
+import pytest
+
+from repro.common.bitutils import iter_bits, popcount
+from repro.xbc.config import XbcConfig
+from repro.xbc.storage import XbcStorage
+
+
+def uops_for(ip, count):
+    """Distinct uop uids tagged by instruction ip (1 uop per instr)."""
+    return [(ip + 2 * i) << 4 for i in range(count)]
+
+
+@pytest.fixture()
+def storage():
+    # 4 sets of 4 banks x 2 ways x 4 uops.
+    return XbcStorage(XbcConfig(total_uops=128))
+
+
+class TestInsertAndRead:
+    def test_roundtrip_program_order(self, storage):
+        uops = uops_for(0x100, 10)
+        mask = storage.insert_xb(0x900, uops)
+        assert mask is not None
+        assert storage.read_variant(0x900, mask) == uops
+
+    def test_lines_store_reverse_order(self, storage):
+        uops = uops_for(0x100, 6)
+        mask = storage.insert_xb(0x900, uops)
+        mapping = storage.probe(0x900, mask, 6)
+        set_lines = storage._sets[storage.index_of(0x900)]
+        order0 = set_lines[mapping[0][0]][mapping[0][1]]
+        # order-0 line slot 0 = last uop (distance 0)
+        assert order0.uops[0] == uops[-1]
+        assert order0.uops[3] == uops[-4]
+        order1 = set_lines[mapping[1][0]][mapping[1][1]]
+        assert order1.uops == [uops[1], uops[0]]
+
+    def test_banks_are_distinct(self, storage):
+        mask = storage.insert_xb(0x900, uops_for(0x100, 16))
+        assert popcount(mask) == 4
+
+    def test_small_xb_one_bank(self, storage):
+        mask = storage.insert_xb(0x900, uops_for(0x100, 3))
+        assert popcount(mask) == 1
+
+    def test_oversized_rejected(self, storage):
+        from repro.common.errors import SimulationError
+        with pytest.raises(SimulationError):
+            storage.insert_xb(0x900, uops_for(0x100, 17))
+
+    def test_empty_rejected(self, storage):
+        from repro.common.errors import SimulationError
+        with pytest.raises(SimulationError):
+            storage.insert_xb(0x900, [])
+
+    def test_avoid_mask_steers_placement(self, storage):
+        mask_a = storage.insert_xb(0x900, uops_for(0x100, 4))
+        mask_b = storage.insert_xb(0x902, uops_for(0x200, 4),
+                                   avoid_mask=mask_a)
+        # Same set (0x900>>1 and 0x902>>1 differ... ensure same set first)
+        if storage.index_of(0x900) == storage.index_of(0x902):
+            assert mask_a & mask_b == 0
+
+
+class TestProbe:
+    def test_probe_needs_only_offset_orders(self, storage):
+        mask = storage.insert_xb(0x900, uops_for(0x100, 12))
+        assert storage.probe(0x900, mask, 4) is not None
+        assert storage.probe(0x900, mask, 12) is not None
+
+    def test_probe_wrong_tag_misses(self, storage):
+        mask = storage.insert_xb(0x900, uops_for(0x100, 8))
+        assert storage.probe(0x902, mask, 4) is None
+
+    def test_probe_content_check(self, storage):
+        uops = uops_for(0x100, 8)
+        mask = storage.insert_xb(0x900, uops)
+        good = list(reversed(uops))
+        bad = list(good)
+        bad[0] ^= 0xFFF0
+        assert storage.probe(0x900, mask, 8, good) is not None
+        assert storage.probe(0x900, mask, 8, bad) is None
+
+    def test_probe_partial_offset_content(self, storage):
+        uops = uops_for(0x100, 10)
+        mask = storage.insert_xb(0x900, uops)
+        # Entry covering only the last 5 uops.
+        expected = list(reversed(uops[-5:]))
+        assert storage.probe(0x900, mask, 5, expected) is not None
+
+
+class TestExtension:
+    def test_extend_in_place(self, storage):
+        suffix = uops_for(0x200, 6)
+        mask = storage.insert_xb(0x900, suffix)
+        prefix = uops_for(0x100, 5)
+        new_mask = storage.extend_xb(0x900, mask, 6, prefix)
+        assert new_mask is not None
+        assert storage.read_variant(0x900, new_mask) == prefix + suffix
+
+    def test_extension_does_not_move_existing_lines(self, storage):
+        suffix = uops_for(0x200, 6)
+        mask = storage.insert_xb(0x900, suffix)
+        before = storage.probe(0x900, mask, 6)
+        storage.extend_xb(0x900, mask, 6, uops_for(0x100, 4))
+        after = storage.probe(0x900, mask, 6)
+        assert before == after  # reverse-order storage: nothing moved
+
+    def test_extend_counts(self, storage):
+        mask = storage.insert_xb(0x900, uops_for(0x200, 4))
+        storage.extend_xb(0x900, mask, 4, uops_for(0x100, 4))
+        assert storage.extensions == 1
+
+
+class TestVariants:
+    def test_add_variant_shares_full_suffix_lines(self, storage):
+        suffix = uops_for(0x300, 8)  # two full lines
+        v1 = uops_for(0x100, 4) + suffix
+        mask1 = storage.insert_xb(0x900, v1)
+        slots1 = dict(storage.last_placement)
+        mapping = storage.probe(0x900, mask1, len(v1))
+        v2 = uops_for(0x200, 4) + suffix
+        mask2 = storage.add_variant(0x900, v2, mapping, reuse_len=8,
+                                    reuse_mask=mask1)
+        slots2 = dict(storage.last_placement)
+        assert mask2 is not None
+        # slot-based reads are unambiguous even under way sharing
+        assert storage.read_slots(0x900, slots2) == v2
+        assert storage.read_slots(0x900, slots1) == v1
+        # the two full suffix lines are physically shared
+        assert slots1[0] == slots2[0]
+        assert slots1[1] == slots2[1]
+        # ...and the prefixes occupy different slots
+        assert slots1[2] != slots2[2]
+
+    def test_variant_with_unaligned_suffix_restores_boundary(self, storage):
+        suffix = uops_for(0x300, 6)  # 1.5 lines: only one full line shared
+        v1 = uops_for(0x100, 4) + suffix
+        mask1 = storage.insert_xb(0x900, v1)
+        mapping = storage.probe(0x900, mask1, len(v1))
+        v2 = uops_for(0x200, 2) + suffix
+        mask2 = storage.add_variant(0x900, v2, mapping, reuse_len=6,
+                                    reuse_mask=mask1)
+        assert mask2 is not None
+        assert storage.read_slots(0x900, storage.last_placement) == v2
+
+
+class TestEviction:
+    def test_gc_removes_stranded_higher_orders(self, storage):
+        uops = uops_for(0x100, 12)  # orders 0,1,2
+        mask = storage.insert_xb(0x900, uops)
+        mapping = storage.probe(0x900, mask, 12)
+        set_idx = storage.index_of(0x900)
+        bank, way = mapping[1]
+        storage._evict(set_idx, bank, way)
+        # order 2 (earlier uops) must be GC'd, order 0 must survive
+        assert storage.probe(0x900, mask, 4) is not None
+        assert storage.probe(0x900, mask, 12) is None
+        orders_left = {
+            line.order
+            for line in storage.resident_lines()
+            if line.tag == 0x900
+        }
+        assert orders_left == {0}
+        assert storage.gc_evictions >= 1
+
+    def test_fresh_insert_purges_stale_tag(self, storage):
+        storage.insert_xb(0x900, uops_for(0x100, 8))
+        storage.insert_xb(0x900, uops_for(0x500, 4))
+        # only the new content remains
+        lines = [l for l in storage.resident_lines() if l.tag == 0x900]
+        assert len(lines) == 1
+        assert lines[0].uops[0] == uops_for(0x500, 4)[-1]
+
+
+class TestSetSearchAndRelocation:
+    def test_set_search_finds_relocated_lines(self, storage):
+        uops = uops_for(0x100, 8)
+        mask = storage.insert_xb(0x900, uops)
+        mapping = storage.probe(0x900, mask, 8)
+        set_idx = storage.index_of(0x900)
+        bank, way = mapping[0]
+        moved = storage.relocate_line(set_idx, bank, way, forbidden_mask=0)
+        assert moved is not None and moved != bank
+        # stale mask may now miss; set search must repair
+        found = storage.set_search(0x900, 8, list(reversed(uops)))
+        assert found is not None
+        repaired_mask, _ = found
+        assert storage.read_variant(0x900, repaired_mask) == uops
+
+    def test_set_search_respects_content(self, storage):
+        uops = uops_for(0x100, 8)
+        storage.insert_xb(0x900, uops)
+        wrong = list(reversed(uops_for(0x700, 8)))
+        assert storage.set_search(0x900, 8, wrong) is None
+
+    def test_note_deferral_threshold(self):
+        storage = XbcStorage(XbcConfig(total_uops=128,
+                                       conflict_move_threshold=3))
+        assert not storage.note_deferral(0x900)
+        assert not storage.note_deferral(0x900)
+        assert storage.note_deferral(0x900)
+        assert not storage.note_deferral(0x900)  # counter reset
+
+    def test_age_variant_drops_lru(self, storage):
+        uops = uops_for(0x100, 4)
+        mask = storage.insert_xb(0x900, uops)
+        storage.age_variant(0x900, mask)
+        line = [l for l in storage.resident_lines() if l.tag == 0x900][0]
+        assert line.stamp == 0
+
+
+class TestAudits:
+    def test_redundancy_single_copy(self, storage):
+        storage.insert_xb(0x900, uops_for(0x100, 8))
+        storage.insert_xb(0xA00, uops_for(0x200, 8))
+        assert storage.redundancy() == 1.0
+
+    def test_resident_uops(self, storage):
+        storage.insert_xb(0x900, uops_for(0x100, 7))
+        assert storage.resident_uops() == 7
+
+    def test_orders_for(self, storage):
+        assert storage.orders_for(1) == 1
+        assert storage.orders_for(4) == 1
+        assert storage.orders_for(5) == 2
+        assert storage.orders_for(16) == 4

@@ -1,0 +1,114 @@
+"""Tests for the XBTB table and entries."""
+
+import pytest
+
+from repro.isa.instruction import InstrKind
+from repro.xbc.config import XbcConfig
+from repro.xbc.pointer import XbPointer
+from repro.xbc.storage import XbcStorage
+from repro.xbc.xbtb import Xbtb, XbtbEntry, XbVariant
+
+
+def uops_for(ip, count):
+    return [(ip + 2 * i) << 4 for i in range(count)]
+
+
+@pytest.fixture()
+def xbtb():
+    return Xbtb(XbcConfig(total_uops=128, xbtb_entries=32, xbtb_assoc=4))
+
+
+@pytest.fixture()
+def storage():
+    return XbcStorage(XbcConfig(total_uops=128))
+
+
+class TestTable:
+    def test_get_or_create_then_lookup(self, xbtb):
+        entry = xbtb.get_or_create(0x900, InstrKind.COND_BRANCH)
+        assert xbtb.lookup(0x900) is entry
+        assert xbtb.hits == 1
+
+    def test_lookup_miss(self, xbtb):
+        assert xbtb.lookup(0x900) is None
+        assert xbtb.hit_rate == 0.0
+
+    def test_peek_no_stats(self, xbtb):
+        xbtb.get_or_create(0x900, None)
+        assert xbtb.peek(0x900) is not None
+        assert xbtb.lookups == 0
+
+    def test_get_or_create_idempotent(self, xbtb):
+        a = xbtb.get_or_create(0x900, InstrKind.COND_BRANCH)
+        b = xbtb.get_or_create(0x900, InstrKind.COND_BRANCH)
+        assert a is b
+        assert xbtb.allocations == 1
+
+    def test_end_kind_upgrade_from_none(self, xbtb):
+        entry = xbtb.get_or_create(0x900, None)
+        xbtb.get_or_create(0x900, InstrKind.RETURN)
+        assert entry.end_kind is InstrKind.RETURN
+
+    def test_lru_eviction(self, xbtb):
+        sets = xbtb.num_sets
+        ips = [0x900 + 2 * sets * i for i in range(5)]  # same XBTB set
+        for ip in ips[:4]:
+            xbtb.get_or_create(ip, None)
+        xbtb.lookup(ips[0])  # refresh
+        xbtb.get_or_create(ips[4], None)
+        assert xbtb.peek(ips[0]) is not None
+        assert xbtb.peek(ips[1]) is None
+        assert xbtb.evictions == 1
+
+    def test_resident_entries(self, xbtb):
+        xbtb.get_or_create(0x900, None)
+        xbtb.get_or_create(0x902, None)
+        assert xbtb.resident_entries() == 2
+
+
+class TestEntry:
+    def test_pointer_roundtrip(self):
+        entry = XbtbEntry(0x900, InstrKind.COND_BRANCH)
+        taken_ptr = XbPointer(0xA00, 0b0001, 4)
+        nt_ptr = XbPointer(0xB00, 0b0010, 6)
+        entry.set_pointer(True, taken_ptr)
+        entry.set_pointer(False, nt_ptr)
+        assert entry.pointer_for(True) is taken_ptr
+        assert entry.pointer_for(False) is nt_ptr
+
+    def test_demote_clears_forward_state(self):
+        entry = XbtbEntry(0x900, InstrKind.COND_BRANCH)
+        entry.promoted = True
+        entry.forward_xb_ip = 0xA00
+        entry.forward_len1 = 5
+        entry.demote()
+        assert entry.promoted is None
+        assert entry.forward_xb_ip is None
+        assert entry.forward_len1 == 0
+
+    def test_valid_variants_drops_stale(self, storage):
+        entry = XbtbEntry(0x900, None)
+        uops = uops_for(0x100, 8)
+        mask = storage.insert_xb(0x900, uops)
+        entry.variants.append(XbVariant(mask, 8))
+        entry.variants.append(XbVariant(0b1111, 12))  # never stored
+        alive = entry.valid_variants(storage)
+        assert len(alive) == 1
+        assert alive[0].mask == mask
+        assert len(entry.variants) == 1
+
+    def test_variant_covering_picks_smallest_sufficient(self, storage):
+        entry = XbtbEntry(0x900, None)
+        suffix = uops_for(0x300, 8)
+        m1 = storage.insert_xb(0x900, suffix)
+        entry.variants.append(XbVariant(m1, 8))
+        mapping = storage.probe(0x900, m1, 8)
+        longer = uops_for(0x100, 4) + suffix
+        m2 = storage.add_variant(0x900, longer, mapping, reuse_len=8,
+                                 reuse_mask=m1)
+        entry.variants.append(XbVariant(m2, 12))
+        chosen = entry.variant_covering(storage, 6)
+        assert chosen.length == 8
+        chosen = entry.variant_covering(storage, 10)
+        assert chosen.length == 12
+        assert entry.variant_covering(storage, 16) is None
