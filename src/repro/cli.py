@@ -16,8 +16,16 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.common.errors import ReproError
+from repro.exec.cache import default_cache_dir, disk_cache_stats
+from repro.exec.engine import ExecPolicy
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import default_registry, make_trace
+from repro.harness.registry import (
+    default_registry,
+    make_trace,
+    registry_spec,
+    trace_cache_stats,
+)
 from repro.harness.runner import FRONTEND_KINDS, run_frontend
 from repro.harness.experiments import (
     format_ablations,
@@ -47,13 +55,14 @@ def _run_all(args) -> None:
     """Run every figure + claims, writing text and CSV artifacts."""
     os.makedirs(args.out, exist_ok=True)
     specs = _registry(args)
+    policy = _policy(args)
 
-    fig1 = run_fig1(specs)
-    fig8 = run_fig8(specs)
-    fig9 = run_fig9(specs)
-    fig10 = run_fig10(specs)
+    fig1 = run_fig1(specs, policy=policy)
+    fig8 = run_fig8(specs, policy=policy)
+    fig9 = run_fig9(specs, policy=policy)
+    fig10 = run_fig10(specs, policy=policy)
     claims = run_claims(specs, fig9=fig9)
-    ablations = run_ablations(specs)
+    ablations = run_ablations(specs, policy=policy)
 
     artifacts = [
         ("fig1", format_fig1(fig1), results.fig1_table(fig1)),
@@ -102,6 +111,37 @@ def _registry(args: argparse.Namespace):
     )
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation jobs (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent trace/result cache root "
+        "(default ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent cache for this run",
+    )
+    parser.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock timeout (default: unlimited)",
+    )
+
+
+def _policy(args: argparse.Namespace) -> ExecPolicy:
+    """Build the execution policy from the shared CLI flags."""
+    return ExecPolicy(
+        workers=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout=args.job_timeout,
+        progress=True,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for every subcommand."""
     parser = argparse.ArgumentParser(
@@ -112,6 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig1", help="block-length distributions (Figure 1)")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--histograms", action="store_true",
                    help="also print the full distributions")
     p.add_argument("--csv", metavar="FILE", default=None,
@@ -119,29 +160,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("fig8", help="XBC vs TC bandwidth per trace (Figure 8)")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--size", type=int, default=8192, help="uop budget")
     p.add_argument("--csv", metavar="FILE", default=None)
 
     p = sub.add_parser("fig9", help="miss rate vs cache size (Figure 9)")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[2048, 4096, 8192, 16384])
     p.add_argument("--csv", metavar="FILE", default=None)
 
     p = sub.add_parser("fig10", help="miss rate vs associativity (Figure 10)")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--size", type=int, default=16384, help="uop budget")
     p.add_argument("--assocs", type=int, nargs="+", default=[1, 2, 4])
     p.add_argument("--csv", metavar="FILE", default=None)
 
     p = sub.add_parser("claims", help="§4/§5 in-text claims (T2, T3)")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[2048, 4096, 8192, 16384])
     p.add_argument("--reference-size", type=int, default=8192)
+    p.add_argument("--csv", metavar="FILE", default=None)
 
     p = sub.add_parser("ablate", help="XBC design-choice ablations")
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--size", type=int, default=8192, help="uop budget")
     p.add_argument("--csv", metavar="FILE", default=None)
 
@@ -149,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run every figure + claims, writing text and CSV"
     )
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--out", metavar="DIR", default="results",
                    help="output directory (default ./results)")
 
@@ -169,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep XBC config fields over the registry"
     )
     _add_registry_args(p)
+    _add_exec_args(p)
     p.add_argument("--param", action="append", default=[], metavar="NAME=V1,V2",
                    help="XbcConfig field and values (repeatable)")
     p.add_argument("--size", type=int, default=8192,
@@ -184,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("info", help="describe the registry workloads")
     _add_registry_args(p)
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache root to report statistics for "
+        "(default ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
 
     return parser
 
@@ -191,45 +245,56 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Library errors (bad config, exhausted job retries) are user
+        # problems, not simulator bugs: report cleanly, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "fig1":
-        result = run_fig1(_registry(args))
+        result = run_fig1(_registry(args), policy=_policy(args))
         print(format_fig1(result, histograms=args.histograms))
         _maybe_csv(args, results.fig1_table(result))
     elif args.command == "fig8":
-        rows = run_fig8(_registry(args), total_uops=args.size)
+        rows = run_fig8(
+            _registry(args), total_uops=args.size, policy=_policy(args)
+        )
         print(format_fig8(rows, total_uops=args.size))
         _maybe_csv(args, results.fig8_table(rows))
     elif args.command == "fig9":
-        result = run_fig9(_registry(args), sizes=args.sizes)
+        result = run_fig9(
+            _registry(args), sizes=args.sizes, policy=_policy(args)
+        )
         print(format_fig9(result))
         _maybe_csv(args, results.fig9_table(result))
     elif args.command == "fig10":
         result = run_fig10(
-            _registry(args), assocs=args.assocs, total_uops=args.size
+            _registry(args), assocs=args.assocs, total_uops=args.size,
+            policy=_policy(args),
         )
         print(format_fig10(result))
         _maybe_csv(args, results.fig10_table(result))
     elif args.command == "claims":
-        print(format_claims(run_claims(
+        result = run_claims(
             _registry(args), sizes=args.sizes,
-            reference_size=args.reference_size,
-        )))
+            reference_size=args.reference_size, policy=_policy(args),
+        )
+        print(format_claims(result))
+        _maybe_csv(args, results.claims_table(result))
     elif args.command == "ablate":
-        rows = run_ablations(_registry(args), total_uops=args.size)
+        rows = run_ablations(
+            _registry(args), total_uops=args.size, policy=_policy(args)
+        )
         print(format_ablations(rows))
         _maybe_csv(args, results.ablations_table(rows))
     elif args.command == "all":
         _run_all(args)
     elif args.command == "run":
-        specs = [
-            s for s in default_registry(
-                traces_per_suite=args.index + 1, length_uops=args.length,
-                suites=[args.suite],
-            )
-            if s.index == args.index
-        ]
-        trace = make_trace(specs[0])
+        trace = make_trace(registry_spec(args.suite, args.index, args.length))
         print(trace.describe())
         stats = run_frontend(
             args.frontend, trace, FrontendConfig(), total_uops=args.size
@@ -243,14 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             measure_xb_usage,
         )
 
-        specs = [
-            s for s in default_registry(
-                traces_per_suite=args.index + 1, length_uops=args.length,
-                suites=[args.suite],
-            )
-            if s.index == args.index
-        ]
-        trace = make_trace(specs[0])
+        trace = make_trace(registry_spec(args.suite, args.index, args.length))
         print(trace.describe())
         print()
         print(measure_xb_usage(trace).summary())
@@ -268,17 +326,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for fragment in args.param or ["ways_per_bank=1,2,4"]:
             grid.update(parse_param(fragment))
         rows = run_sweep(grid, _registry(args),
-                         base=XbcConfig(total_uops=args.size))
+                         base=XbcConfig(total_uops=args.size),
+                         policy=_policy(args))
         print(format_sweep(rows))
-        if args.csv:
-            table = (
-                ["parameters", "miss_rate", "delivery_bandwidth",
-                 "fetch_bandwidth", "valid"],
-                [[r.label(), r.miss_rate, r.delivery_bandwidth,
-                  r.fetch_bandwidth, r.valid] for r in rows],
-            )
-            results.write_csv(table, args.csv)
-            print(f"[csv written to {args.csv}]")
+        _maybe_csv(args, results.sweep_table(rows))
     elif args.command == "generate":
         from repro.trace.tracefile import save_trace
 
@@ -292,6 +343,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         for spec in _registry(args):
             trace = make_trace(spec)
             print(trace.describe())
+        print()
+        print(f"[trace cache] {trace_cache_stats().describe()}")
+        root = args.cache_dir or default_cache_dir()
+        if os.path.isdir(root):
+            disk = disk_cache_stats(root)
+            print(
+                f"[persistent cache] {root}: "
+                f"traces entries={disk.traces.entries} "
+                f"bytes={disk.traces.bytes}, "
+                f"results entries={disk.results.entries} "
+                f"bytes={disk.results.bytes}"
+            )
+        else:
+            print(f"[persistent cache] {root}: empty (no cache directory)")
     return 0
 
 

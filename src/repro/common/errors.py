@@ -31,3 +31,11 @@ class SimulationError(ReproError):
 
 class TraceFormatError(ReproError):
     """A serialized trace file could not be parsed."""
+
+
+class ExecutionError(ReproError):
+    """A job submitted to the execution engine failed all its attempts.
+
+    Carries the final error text of (a sample of) the failed jobs; the
+    run manifest records every attempt in full.
+    """

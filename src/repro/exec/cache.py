@@ -1,0 +1,205 @@
+"""Persistent content-addressed stores for traces and job results.
+
+Layout under one cache root (default ``~/.cache/repro``, overridable
+with ``--cache-dir`` or the ``REPRO_CACHE_DIR`` environment variable)::
+
+    <root>/traces/<key>.trace     serialized synthetic traces
+    <root>/results/<key>.json     encoded job results
+    <root>/manifests/run-*.json   run manifests (written by the engine)
+
+Keys come from :mod:`repro.exec.hashing`: a stable SHA-256 over the
+generating recipe (:class:`~repro.harness.registry.TraceSpec` fields,
+config dataclasses, code version), so a cache entry can never be served
+for a different experiment point and a code-version bump invalidates
+everything at once.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+racing on the same key leave a valid file either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.exec.hashing import versioned_key
+from repro.trace.record import Trace
+from repro.trace.tracefile import load_trace, save_trace
+
+
+def default_cache_dir() -> str:
+    """Resolve the cache root: env override, XDG convention, ``~``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+def _atomic_write(path: str, text: str) -> None:
+    """Write *text* to *path* so readers never observe a partial file."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
+
+
+@dataclass
+class StoreStats:
+    """Session hit/miss counters plus an on-disk inventory."""
+
+    entries: int = 0
+    bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"entries={self.entries} bytes={self.bytes} "
+            f"hits={self.hits} misses={self.misses}"
+        )
+
+
+def _scan_dir(path: str, suffix: str) -> Dict[str, int]:
+    entries = 0
+    size = 0
+    try:
+        with os.scandir(path) as it:
+            for entry in it:
+                if entry.is_file() and entry.name.endswith(suffix):
+                    entries += 1
+                    size += entry.stat().st_size
+    except OSError:
+        pass
+    return {"entries": entries, "bytes": size}
+
+
+class ResultCache:
+    """Content-addressed JSON store for encoded job results."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.dir = os.path.join(root, "results")
+        os.makedirs(self.dir, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.dir, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the stored payload for *key*, or ``None`` on a miss.
+
+        A corrupt entry (interrupted write from an older, non-atomic
+        layout, disk trouble) counts as a miss and is removed.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            self._misses += 1
+            return None
+        except (OSError, ValueError):
+            self._misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self._hits += 1
+        return document.get("payload")
+
+    def put(self, key: str, payload: Any, meta: Optional[dict] = None) -> None:
+        """Store *payload* under *key* (atomic, last writer wins)."""
+        document = {"key": key, "meta": meta or {}, "payload": payload}
+        _atomic_write(self._path(key), json.dumps(document, sort_keys=True))
+
+    def stats(self) -> StoreStats:
+        """Inventory of the results directory plus session counters."""
+        scan = _scan_dir(self.dir, ".json")
+        return StoreStats(
+            entries=scan["entries"], bytes=scan["bytes"],
+            hits=self._hits, misses=self._misses,
+        )
+
+
+class TraceStore:
+    """Content-addressed store of serialized synthetic traces.
+
+    :func:`repro.harness.registry.make_trace` consults an installed
+    store before generating, making trace generation a cross-process,
+    cross-run cache instead of a per-process one.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.dir = os.path.join(root, "traces")
+        os.makedirs(self.dir, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+
+    @staticmethod
+    def key_for(spec) -> str:
+        """Stable key for a :class:`TraceSpec` (code version folded in)."""
+        return versioned_key({"kind": "trace", "spec": spec})
+
+    def _path(self, spec) -> str:
+        return os.path.join(self.dir, f"{self.key_for(spec)}.trace")
+
+    def load(self, spec) -> Optional[Trace]:
+        """Return the stored trace for *spec*, or ``None`` on a miss."""
+        path = self._path(spec)
+        try:
+            trace = load_trace(path)
+        except FileNotFoundError:
+            self._misses += 1
+            return None
+        except Exception:
+            # Unreadable entry: regenerate rather than fail the run.
+            self._misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self._hits += 1
+        return trace
+
+    def store(self, spec, trace: Trace) -> None:
+        """Persist *trace* under the key of *spec* (atomic)."""
+        path = self._path(spec)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        save_trace(trace, tmp)
+        os.replace(tmp, path)
+
+    def stats(self) -> StoreStats:
+        """Inventory of the traces directory plus session counters."""
+        scan = _scan_dir(self.dir, ".trace")
+        return StoreStats(
+            entries=scan["entries"], bytes=scan["bytes"],
+            hits=self._hits, misses=self._misses,
+        )
+
+
+@dataclass
+class DiskCacheStats:
+    """Combined inventory of one cache root (for ``repro info``)."""
+
+    root: str = ""
+    traces: StoreStats = field(default_factory=StoreStats)
+    results: StoreStats = field(default_factory=StoreStats)
+
+
+def disk_cache_stats(root: Optional[str] = None) -> DiskCacheStats:
+    """Scan a cache root without touching session counters."""
+    root = root or default_cache_dir()
+    return DiskCacheStats(
+        root=root,
+        traces=StoreStats(**_scan_dir(os.path.join(root, "traces"), ".trace")),
+        results=StoreStats(**_scan_dir(os.path.join(root, "results"), ".json")),
+    )

@@ -1,0 +1,72 @@
+"""Stable content hashing for cache keys.
+
+A cache key must be identical across processes, Python versions and
+machines for the same logical work item, so everything is normalized
+to a canonical JSON document (sorted keys, no whitespace) before being
+fed to SHA-256.  ``hash()`` and ``repr()`` are never used — both can
+vary per interpreter invocation (``PYTHONHASHSEED``, object ids).
+
+Keys incorporate :data:`CODE_VERSION` so a release that changes model
+behaviour invalidates every cached result instead of silently serving
+stale numbers.  Bump :data:`RESULT_SCHEMA` when the *serialization* of
+results changes without a package-version bump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any
+
+from repro import __version__
+
+#: Schema generation of the cached result/trace payloads.  Bump on any
+#: change to how results are encoded or how simulations behave when the
+#: package version stays the same (e.g. during development).
+RESULT_SCHEMA = 1
+
+#: Version string folded into every cache key.
+CODE_VERSION = f"{__version__}+schema{RESULT_SCHEMA}"
+
+
+def jsonable(value: Any) -> Any:
+    """Normalize *value* into plain JSON-encodable data.
+
+    Dataclasses become ``{"__class__": name, ...fields}`` so two config
+    types with coincidentally equal fields never collide; enums use
+    their value; tuples become lists.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {"__class__": type(value).__name__}
+        for field in dataclasses.fields(value):
+            payload[field.name] = jsonable(getattr(value, field.name))
+        return payload
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot build a stable hash payload from {type(value)!r}")
+
+
+def canonical_json(payload: Any) -> str:
+    """Render *payload* as canonical JSON (sorted keys, tight separators)."""
+    return json.dumps(
+        jsonable(payload), sort_keys=True, separators=(",", ":")
+    )
+
+
+def stable_hash(payload: Any) -> str:
+    """24-hex-digit SHA-256 prefix of the canonical form of *payload*."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def versioned_key(payload: Any) -> str:
+    """Like :func:`stable_hash` but folding in :data:`CODE_VERSION`."""
+    return stable_hash({"version": CODE_VERSION, "payload": payload})

@@ -7,7 +7,14 @@ building frontends by name, and one module per figure/claim under
 drives everything from the command line.
 """
 
-from repro.harness.registry import TraceSpec, default_registry, make_trace, clear_trace_cache
+from repro.harness.registry import (
+    TraceSpec,
+    clear_trace_cache,
+    default_registry,
+    make_trace,
+    registry_spec,
+    trace_cache_stats,
+)
 from repro.harness.runner import make_frontend, run_frontend, FRONTEND_KINDS
 from repro.harness.sweep import SweepRow, run_sweep, format_sweep, parse_param
 
@@ -15,7 +22,9 @@ __all__ = [
     "TraceSpec",
     "default_registry",
     "make_trace",
+    "registry_spec",
     "clear_trace_cache",
+    "trace_cache_stats",
     "make_frontend",
     "run_frontend",
     "FRONTEND_KINDS",

@@ -18,10 +18,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.harness.registry import TraceSpec, default_registry
 from repro.xbc.config import XbcConfig
-from repro.xbc.frontend import XbcFrontend
 
 
 @dataclass
@@ -61,16 +62,24 @@ def run_ablations(
     total_uops: int = 8192,
     fe_config: Optional[FrontendConfig] = None,
     variants: Optional[Dict[str, XbcConfig]] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> List[AblationRow]:
     """Run every variant over the registry, averaging the key metrics."""
     specs = specs if specs is not None else default_registry()
     fe = fe_config or FrontendConfig()
+    variant_map = variants or _variants(total_uops)
+    jobs = [
+        SimJob(frontend="xbc", spec=spec, fe_config=fe, xbc_config=config)
+        for config in variant_map.values()
+        for spec in specs
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="ablations"))
     rows: List[AblationRow] = []
-    for name, config in (variants or _variants(total_uops)).items():
+    for name, config in variant_map.items():
         miss = bw = fbw = 0.0
         extra_sums: Dict[str, float] = {}
-        for spec in specs:
-            stats = XbcFrontend(fe, config).run(make_trace(spec))
+        for _spec in specs:
+            stats = next(outcomes).value
             miss += stats.uop_miss_rate
             bw += stats.delivery_bandwidth
             fbw += stats.fetch_bandwidth

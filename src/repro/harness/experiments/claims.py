@@ -15,10 +15,10 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.exec.engine import ExecPolicy
 from repro.frontend.config import FrontendConfig
 from repro.harness.experiments.fig9 import Fig9Result, run_fig9
-from repro.harness.registry import TraceSpec, default_registry, make_trace
-from repro.harness.runner import run_frontend
+from repro.harness.registry import TraceSpec, default_registry
 
 
 @dataclass
@@ -74,11 +74,12 @@ def run_claims(
     reference_size: int = 8192,
     fe_config: Optional[FrontendConfig] = None,
     fig9: Optional[Fig9Result] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> ClaimsResult:
     """Evaluate T2 and T3 (reusing a Figure-9 sweep when provided)."""
     specs = specs if specs is not None else default_registry()
     if fig9 is None:
-        fig9 = run_fig9(specs, sizes, fe_config)
+        fig9 = run_fig9(specs, sizes, fe_config, policy=policy)
     result = ClaimsResult(fig9=fig9, reference_size=reference_size)
     result.reductions = [fig9.reduction(size) for size in fig9.sizes]
 

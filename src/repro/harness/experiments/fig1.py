@@ -11,8 +11,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.tables import format_table
-from repro.harness.registry import TraceSpec, default_registry, make_trace
-from repro.trace.blockstats import BlockLengthStats, compute_block_stats
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import BlockStatsJob
+from repro.harness.registry import TraceSpec, default_registry
+from repro.trace.blockstats import BlockLengthStats
 
 #: The averages the paper reports, for side-by-side printing.
 PAPER_MEANS: Dict[str, float] = {
@@ -31,12 +33,17 @@ class Fig1Result:
     overall: BlockLengthStats = field(default_factory=BlockLengthStats)
 
 
-def run_fig1(specs: Optional[List[TraceSpec]] = None) -> Fig1Result:
+def run_fig1(
+    specs: Optional[List[TraceSpec]] = None,
+    policy: Optional[ExecPolicy] = None,
+) -> Fig1Result:
     """Compute the Figure-1 distributions over the registry traces."""
     specs = specs if specs is not None else default_registry()
+    jobs = [BlockStatsJob(spec=spec) for spec in specs]
+    outcomes = execute_jobs(jobs, policy, label="fig1")
     result = Fig1Result()
-    for spec in specs:
-        stats = compute_block_stats(make_trace(spec))
+    for spec, outcome in zip(specs, outcomes):
+        stats = outcome.value
         if spec.suite in result.per_suite:
             result.per_suite[spec.suite] = result.per_suite[spec.suite].merged_with(stats)
         else:

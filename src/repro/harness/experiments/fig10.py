@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import TraceSpec, default_registry, make_trace
-from repro.harness.runner import run_frontend
+from repro.harness.registry import TraceSpec, default_registry
 
 DEFAULT_ASSOCS = (1, 2, 4)
 
@@ -43,23 +44,28 @@ def run_fig10(
     assocs: Sequence[int] = DEFAULT_ASSOCS,
     total_uops: int = 16384,
     fe_config: Optional[FrontendConfig] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> Fig10Result:
     """Sweep associativity at a fixed uop budget."""
     specs = specs if specs is not None else default_registry()
+    fe = fe_config or FrontendConfig()
+    jobs = [
+        SimJob(
+            frontend=kind, spec=spec, fe_config=fe,
+            total_uops=total_uops, assoc=assoc,
+        )
+        for assoc in assocs
+        for spec in specs
+        for kind in ("tc", "xbc")
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="fig10"))
     result = Fig10Result(assocs=list(assocs), total_uops=total_uops)
     for assoc in assocs:
         tc_rates: List[float] = []
         xbc_rates: List[float] = []
-        for spec in specs:
-            trace = make_trace(spec)
-            tc = run_frontend(
-                "tc", trace, fe_config, total_uops=total_uops, assoc=assoc
-            )
-            xbc = run_frontend(
-                "xbc", trace, fe_config, total_uops=total_uops, assoc=assoc
-            )
-            tc_rates.append(tc.uop_miss_rate)
-            xbc_rates.append(xbc.uop_miss_rate)
+        for _spec in specs:
+            tc_rates.append(next(outcomes).value.uop_miss_rate)
+            xbc_rates.append(next(outcomes).value.uop_miss_rate)
         result.tc_miss[assoc] = sum(tc_rates) / len(tc_rates)
         result.xbc_miss[assoc] = sum(xbc_rates) / len(xbc_rates)
     return result

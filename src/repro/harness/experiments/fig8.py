@@ -13,9 +13,10 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import TraceSpec, default_registry, make_trace
-from repro.harness.runner import run_frontend
+from repro.harness.registry import TraceSpec, default_registry
 
 
 @dataclass
@@ -41,14 +42,21 @@ def run_fig8(
     specs: Optional[List[TraceSpec]] = None,
     total_uops: int = 8192,
     fe_config: Optional[FrontendConfig] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> List[Fig8Row]:
     """Measure per-trace bandwidth for the TC and the XBC."""
     specs = specs if specs is not None else default_registry()
+    fe = fe_config or FrontendConfig()
+    jobs = [
+        SimJob(frontend=kind, spec=spec, fe_config=fe, total_uops=total_uops)
+        for spec in specs
+        for kind in ("tc", "xbc")
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="fig8"))
     rows: List[Fig8Row] = []
     for spec in specs:
-        trace = make_trace(spec)
-        tc = run_frontend("tc", trace, fe_config, total_uops=total_uops)
-        xbc = run_frontend("xbc", trace, fe_config, total_uops=total_uops)
+        tc = next(outcomes).value
+        xbc = next(outcomes).value
         rows.append(
             Fig8Row(
                 trace=spec.name,

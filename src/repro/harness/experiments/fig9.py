@@ -12,9 +12,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import TraceSpec, default_registry, make_trace
-from repro.harness.runner import run_frontend
+from repro.harness.registry import TraceSpec, default_registry
 
 #: Scaled default sweep (the paper's 8K/16K/32K/64K at ~1/4 scale).
 DEFAULT_SIZES = (2048, 4096, 8192, 16384)
@@ -42,18 +43,32 @@ def run_fig9(
     specs: Optional[List[TraceSpec]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     fe_config: Optional[FrontendConfig] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> Fig9Result:
-    """Sweep the uop budget for both structures."""
+    """Sweep the uop budget for both structures.
+
+    Every (size, trace, structure) point is an independent
+    :class:`SimJob` submitted through the execution engine, so the
+    sweep parallelizes and caches per *policy*.
+    """
     specs = specs if specs is not None else default_registry()
+    fe = fe_config or FrontendConfig()
+    jobs = [
+        SimJob(frontend=kind, spec=spec, fe_config=fe, total_uops=size)
+        for size in sizes
+        for spec in specs
+        for kind in ("tc", "xbc")
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="fig9"))
+
     result = Fig9Result(sizes=list(sizes))
     for size in sizes:
         tc_rates: List[float] = []
         xbc_rates: List[float] = []
         detail: List[Dict[str, float]] = []
         for spec in specs:
-            trace = make_trace(spec)
-            tc = run_frontend("tc", trace, fe_config, total_uops=size)
-            xbc = run_frontend("xbc", trace, fe_config, total_uops=size)
+            tc = next(outcomes).value
+            xbc = next(outcomes).value
             tc_rates.append(tc.uop_miss_rate)
             xbc_rates.append(xbc.uop_miss_rate)
             detail.append(

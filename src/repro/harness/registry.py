@@ -12,9 +12,11 @@ budget.  The default *scaled* registry uses 3 traces per suite and
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.common.errors import ConfigError
 from repro.program.generator import generate_program
 from repro.program.profiles import SUITE_NAMES, profile_for_suite
 from repro.trace.executor import execute_program
@@ -49,6 +51,33 @@ class TraceSpec:
         return f"{self.suite}-{self.index}"
 
 
+def registry_spec(
+    suite: str, index: int, length_uops: int = DEFAULT_LENGTH
+) -> TraceSpec:
+    """The spec ``default_registry`` would assign to (suite, index).
+
+    This is the single source of truth for the seed/footprint formulas,
+    so CLI commands addressing one trace get exactly the registry's
+    trace without building (and discarding) a whole registry.
+    """
+    if suite not in SUITE_NAMES:
+        raise ConfigError(
+            f"unknown suite {suite!r}; expected one of {SUITE_NAMES}"
+        )
+    if index < 0:
+        raise ConfigError(f"trace index must be >= 0, got {index}")
+    base = STATIC_UOPS[suite]
+    # Vary footprint across a suite the way real binaries do.
+    static = round(base * (0.75 + 0.20 * index))
+    return TraceSpec(
+        suite=suite,
+        index=index,
+        seed=1000 * (SUITE_NAMES.index(suite) + 1) + 17 * index + 3,
+        static_uops=static,
+        length_uops=length_uops,
+    )
+
+
 def default_registry(
     traces_per_suite: Optional[int] = None,
     length_uops: int = DEFAULT_LENGTH,
@@ -66,43 +95,110 @@ def default_registry(
             count = PAPER_COUNTS[suite]
         else:
             count = traces_per_suite if traces_per_suite is not None else 3
-        base = STATIC_UOPS[suite]
         for index in range(count):
-            # Vary footprint across a suite the way real binaries do.
-            static = round(base * (0.75 + 0.20 * index))
-            specs.append(
-                TraceSpec(
-                    suite=suite,
-                    index=index,
-                    seed=1000 * (SUITE_NAMES.index(suite) + 1) + 17 * index + 3,
-                    static_uops=static,
-                    length_uops=length_uops,
-                )
-            )
+            specs.append(registry_spec(suite, index, length_uops))
     return specs
 
 
 _TRACE_CACHE: Dict[TraceSpec, Trace] = {}
+
+#: Optional persistent store (see :class:`repro.exec.cache.TraceStore`).
+#: Anything with ``load(spec) -> Optional[Trace]`` and
+#: ``store(spec, trace)`` works; the execution engine installs one when
+#: caching is enabled (in this process and in every worker).
+_TRACE_STORE = None
+
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
+
+@dataclass
+class TraceCacheStats:
+    """In-process trace-cache statistics (``repro info`` surfaces these)."""
+
+    entries: int = 0
+    #: approximate resident size of the cached record lists.
+    bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"entries={self.entries} ~{self.bytes / 1024:.0f} KiB "
+            f"hits={self.hits} misses={self.misses}"
+        )
+
+
+def set_trace_store(store) -> object:
+    """Install a persistent trace store; returns the previous one."""
+    global _TRACE_STORE
+    previous = _TRACE_STORE
+    _TRACE_STORE = store
+    return previous
 
 
 def make_trace(spec: TraceSpec) -> Trace:
     """Generate (or return the cached) trace for a spec.
 
     Trace generation is deterministic, so caching is purely a speed
-    optimization shared across the experiments of one process.
+    optimization.  Lookups go through two layers: the in-process dict
+    (shared by the experiments of one process) and, when installed via
+    :func:`set_trace_store`, a persistent content-addressed store
+    shared across processes and runs.
     """
+    global _CACHE_HITS, _CACHE_MISSES
     cached = _TRACE_CACHE.get(spec)
     if cached is not None:
+        _CACHE_HITS += 1
         return cached
+    _CACHE_MISSES += 1
+    if _TRACE_STORE is not None:
+        stored = _TRACE_STORE.load(spec)
+        if stored is not None:
+            _TRACE_CACHE[spec] = stored
+            return stored
     profile = profile_for_suite(spec.suite).scaled(spec.static_uops)
     program = generate_program(
         profile, seed=spec.seed, name=spec.name, suite=spec.suite
     )
     trace = execute_program(program, max_uops=spec.length_uops)
     _TRACE_CACHE[spec] = trace
+    if _TRACE_STORE is not None:
+        try:
+            _TRACE_STORE.store(spec, trace)
+        except OSError:
+            pass  # persistence is best-effort; the run must not fail
     return trace
 
 
-def clear_trace_cache() -> None:
-    """Drop cached traces (tests use this to bound memory)."""
+def _trace_bytes(trace: Trace) -> int:
+    """Rough resident size of one cached trace's record list."""
+    size = sys.getsizeof(trace.records)
+    if trace.records:
+        size += len(trace.records) * sys.getsizeof(trace.records[0])
+    return size
+
+
+def trace_cache_stats() -> TraceCacheStats:
+    """Snapshot of the in-process cache (non-destructive)."""
+    return TraceCacheStats(
+        entries=len(_TRACE_CACHE),
+        bytes=sum(_trace_bytes(trace) for trace in _TRACE_CACHE.values()),
+        hits=_CACHE_HITS,
+        misses=_CACHE_MISSES,
+    )
+
+
+def clear_trace_cache() -> TraceCacheStats:
+    """Drop cached traces (tests use this to bound memory).
+
+    Returns the statistics accumulated up to the clear, then resets
+    the hit/miss counters along with the entries.
+    """
+    global _CACHE_HITS, _CACHE_MISSES
+    stats = trace_cache_stats()
     _TRACE_CACHE.clear()
+    _CACHE_HITS = 0
+    _CACHE_MISSES = 0
+    return stats

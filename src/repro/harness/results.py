@@ -17,6 +17,7 @@ from repro.harness.experiments.fig1 import Fig1Result
 from repro.harness.experiments.fig8 import Fig8Row
 from repro.harness.experiments.fig9 import Fig9Result
 from repro.harness.experiments.fig10 import Fig10Result
+from repro.harness.sweep import SweepRow
 
 Table = Tuple[List[str], List[List[object]]]
 
@@ -95,6 +96,20 @@ def ablations_table(rows_in: Sequence[AblationRow]) -> Table:
     rows = [
         [r.name, r.miss_rate, r.bandwidth, r.fetch_bandwidth]
         for r in rows_in
+    ]
+    return headers, rows
+
+
+def sweep_table(rows_in: Sequence[SweepRow]) -> Table:
+    """Flatten a parameter sweep (invalid combinations included)."""
+    headers = [
+        "parameters", "miss_rate", "delivery_bandwidth",
+        "fetch_bandwidth", "valid",
+    ]
+    rows = [
+        [row.label(), row.miss_rate, row.delivery_bandwidth,
+         row.fetch_bandwidth, row.valid]
+        for row in rows_in
     ]
     return headers, rows
 

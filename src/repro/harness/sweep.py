@@ -17,10 +17,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigError
 from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
 from repro.frontend.config import FrontendConfig
-from repro.harness.registry import TraceSpec, default_registry, make_trace
+from repro.harness.registry import TraceSpec, default_registry
 from repro.xbc.config import XbcConfig
-from repro.xbc.frontend import XbcFrontend
 
 
 @dataclass
@@ -67,8 +68,14 @@ def run_sweep(
     specs: Optional[List[TraceSpec]] = None,
     base: Optional[XbcConfig] = None,
     fe_config: Optional[FrontendConfig] = None,
+    policy: Optional[ExecPolicy] = None,
 ) -> List[SweepRow]:
-    """Run the cross product of *grid* over the registry traces."""
+    """Run the cross product of *grid* over the registry traces.
+
+    Geometry is validated up front in this process; each surviving
+    (combination, trace) point is an independent :class:`SimJob`
+    fanned out through the execution engine per *policy*.
+    """
     specs = specs if specs is not None else default_registry()
     base = base or XbcConfig()
     fe = fe_config or FrontendConfig()
@@ -82,6 +89,7 @@ def run_sweep(
 
     keys = sorted(grid)
     rows: List[SweepRow] = []
+    configs: List[Optional[XbcConfig]] = []
     for combo in itertools.product(*(grid[key] for key in keys)):
         params = dict(zip(keys, combo))
         row = SweepRow(params=params)
@@ -91,11 +99,23 @@ def run_sweep(
         except (ConfigError, TypeError) as exc:
             row.valid = False
             row.reason = str(exc)
-            rows.append(row)
+            config = None
+        rows.append(row)
+        configs.append(config)
+
+    jobs = [
+        SimJob(frontend="xbc", spec=spec, fe_config=fe, xbc_config=config)
+        for config in configs
+        if config is not None
+        for spec in specs
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="sweep"))
+    for row, config in zip(rows, configs):
+        if config is None:
             continue
         miss = bw = fbw = 0.0
-        for spec in specs:
-            stats = XbcFrontend(fe, config).run(make_trace(spec))
+        for _spec in specs:
+            stats = next(outcomes).value
             miss += stats.uop_miss_rate
             bw += stats.delivery_bandwidth
             fbw += stats.fetch_bandwidth
@@ -103,7 +123,6 @@ def run_sweep(
         row.miss_rate = miss / count
         row.delivery_bandwidth = bw / count
         row.fetch_bandwidth = fbw / count
-        rows.append(row)
     return rows
 
 

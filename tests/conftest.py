@@ -70,3 +70,14 @@ def suite_traces():
 def fe_config() -> FrontendConfig:
     """Default frontend config (fresh per test: it is frozen anyway)."""
     return FrontendConfig()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Keep the persistent exec cache out of the user's real ~/.cache.
+
+    CLI commands enable the persistent trace/result cache by default;
+    pointing REPRO_CACHE_DIR at a per-test temp dir keeps test runs
+    hermetic (no cross-test reuse, nothing left behind).
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

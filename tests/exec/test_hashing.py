@@ -1,0 +1,112 @@
+"""Tests for the stable cache-key hashing."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.hashing import (
+    CODE_VERSION,
+    canonical_json,
+    jsonable,
+    stable_hash,
+    versioned_key,
+)
+from repro.exec.job import BlockStatsJob, SimJob
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import registry_spec
+from repro.xbc.config import XbcConfig
+
+
+def test_stable_hash_deterministic():
+    payload = {"b": 2, "a": [1, 2, 3], "c": {"x": True}}
+    assert stable_hash(payload) == stable_hash(dict(reversed(payload.items())))
+
+
+def test_stable_hash_discriminates():
+    assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+    assert stable_hash({"a": 1}) != stable_hash({"b": 1})
+
+
+def test_dataclass_payload_includes_class_name():
+    # Two config types must never collide even with equal field values.
+    payload = jsonable(XbcConfig())
+    assert payload["__class__"] == "XbcConfig"
+
+
+def test_enum_and_tuple_normalization():
+    from repro.isa.instruction import InstrKind
+
+    assert jsonable(InstrKind.CALL) == "call"
+    assert jsonable((1, 2)) == [1, 2]
+
+
+def test_unhashable_payload_rejected():
+    with pytest.raises(TypeError):
+        canonical_json(object())
+
+
+def test_versioned_key_changes_with_code_version(monkeypatch):
+    before = versioned_key({"x": 1})
+    monkeypatch.setattr("repro.exec.hashing.CODE_VERSION", CODE_VERSION + ".dev")
+    assert versioned_key({"x": 1}) != before
+
+
+def test_sim_job_key_fields_all_matter():
+    spec = registry_spec("specint", 0, 20_000)
+    base = SimJob("xbc", spec, total_uops=4096)
+    assert versioned_key(base.key_payload()) == versioned_key(
+        SimJob("xbc", spec, total_uops=4096).key_payload()
+    )
+    for other in (
+        SimJob("tc", spec, total_uops=4096),
+        SimJob("xbc", spec, total_uops=8192),
+        SimJob("xbc", registry_spec("specint", 1, 20_000), total_uops=4096),
+        SimJob("xbc", spec, total_uops=4096, assoc=4),
+        SimJob("xbc", spec, total_uops=4096,
+               fe_config=FrontendConfig(renamer_width=6)),
+        SimJob("xbc", spec, total_uops=4096,
+               xbc_config=XbcConfig(total_uops=4096)),
+    ):
+        assert versioned_key(other.key_payload()) != versioned_key(
+            base.key_payload()
+        )
+
+
+def test_blockstats_job_key_distinct_from_sim_job():
+    spec = registry_spec("games", 0, 20_000)
+    sim = versioned_key(SimJob("xbc", spec).key_payload())
+    stats = versioned_key(BlockStatsJob(spec).key_payload())
+    assert sim != stats
+
+
+def test_key_stable_across_processes():
+    """The same job must hash identically in a fresh interpreter.
+
+    This is what makes the on-disk cache shareable between runs and
+    worker processes — keys must not depend on PYTHONHASHSEED, object
+    ids or import order.
+    """
+    spec = registry_spec("specint", 0, 20_000)
+    local = versioned_key(SimJob("xbc", spec, total_uops=4096).key_payload())
+
+    code = (
+        "from repro.exec.hashing import versioned_key\n"
+        "from repro.exec.job import SimJob\n"
+        "from repro.harness.registry import registry_spec\n"
+        "spec = registry_spec('specint', 0, 20000)\n"
+        "print(versioned_key("
+        "SimJob('xbc', spec, total_uops=4096).key_payload()))\n"
+    )
+    src_dir = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "src"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src_dir)
+    env["PYTHONHASHSEED"] = "12345"  # force a different string-hash seed
+    output = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env, capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    assert output == local

@@ -42,6 +42,38 @@ def test_claims(capsys):
     assert "T2" in out and "T3" in out
 
 
+def test_claims_csv(tmp_path, capsys):
+    path = str(tmp_path / "claims.csv")
+    args = ["claims", "--sizes", "2048", "4096",
+            "--reference-size", "2048", "--csv", path] + FAST
+    assert main(args) == 0
+    with open(path) as handle:
+        header = handle.readline()
+    assert header.strip() == "metric,value"
+
+
+def test_jobs_flag_matches_serial_output(capsys):
+    args = ["fig9", "--sizes", "2048"] + FAST
+    assert main(args + ["--jobs", "1", "--no-cache"]) == 0
+    serial = capsys.readouterr().out
+    assert main(args + ["--jobs", "2", "--no-cache"]) == 0
+    parallel = capsys.readouterr().out
+    assert parallel == serial
+
+
+def test_warm_cache_rerun_is_identical(tmp_path, capsys):
+    """Second run hits the persistent cache and prints the same table."""
+    cache = str(tmp_path / "cache")
+    args = ["fig9", "--sizes", "2048", "--cache-dir", cache] + FAST
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    import os
+    assert os.listdir(os.path.join(cache, "results"))
+
+
 def test_run_command(capsys):
     assert main(["run", "xbc", "--length", "12000", "--size", "2048"]) == 0
     out = capsys.readouterr().out
@@ -58,6 +90,26 @@ def test_info(capsys):
     assert main(["info"] + FAST) == 0
     out = capsys.readouterr().out
     assert "specint" in out and "games" in out
+    assert "[trace cache]" in out
+    assert "[persistent cache]" in out
+
+
+def test_info_reports_populated_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["fig9", "--sizes", "2048", "--cache-dir", cache] + FAST) == 0
+    capsys.readouterr()
+    assert main(["info", "--cache-dir", cache] + FAST) == 0
+    out = capsys.readouterr().out
+    assert f"[persistent cache] {cache}:" in out
+    assert "results entries=0" not in out
+
+
+def test_run_command_selects_registry_trace(capsys):
+    """run/analyze address the same trace the registry would build."""
+    assert main(["run", "xbc", "--suite", "games", "--index", "1",
+                 "--length", "8000", "--size", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "games-1" in out
 
 
 def test_suite_filter(capsys):

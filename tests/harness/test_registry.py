@@ -1,11 +1,16 @@
 """Tests for the trace registry."""
 
+import pytest
+
+from repro.common.errors import ConfigError
 from repro.harness.registry import (
     PAPER_COUNTS,
     TraceSpec,
     clear_trace_cache,
     default_registry,
     make_trace,
+    registry_spec,
+    trace_cache_stats,
 )
 from repro.program.profiles import SUITE_NAMES
 
@@ -54,6 +59,47 @@ def test_make_trace_cached_and_deterministic():
     assert t3 is not t1
     assert len(t3) == len(t1)
     assert all(a.ip == b.ip for a, b in zip(t1.records, t3.records))
+
+
+def test_registry_spec_matches_registry_entries():
+    """registry_spec is the single source of truth the registry uses."""
+    specs = default_registry(traces_per_suite=3, length_uops=40_000)
+    for spec in specs:
+        assert registry_spec(spec.suite, spec.index, 40_000) == spec
+
+
+def test_registry_spec_rejects_bad_input():
+    with pytest.raises(ConfigError):
+        registry_spec("nosuchsuite", 0)
+    with pytest.raises(ConfigError):
+        registry_spec("specint", -1)
+
+
+def test_trace_cache_stats_count_hits_and_misses():
+    clear_trace_cache()
+    spec = registry_spec("games", 0, 5_000)
+    make_trace(spec)           # miss (generated)
+    make_trace(spec)           # hit
+    make_trace(spec)           # hit
+    stats = trace_cache_stats()
+    assert stats.entries == 1
+    assert stats.bytes > 0
+    assert stats.misses == 1
+    assert stats.hits == 2
+    clear_trace_cache()
+
+
+def test_clear_trace_cache_returns_final_stats_then_resets():
+    clear_trace_cache()
+    spec = registry_spec("games", 0, 5_000)
+    make_trace(spec)
+    make_trace(spec)
+    final = clear_trace_cache()
+    assert final.entries == 1
+    assert final.hits == 1 and final.misses == 1
+    after = trace_cache_stats()
+    assert after.entries == 0
+    assert after.hits == 0 and after.misses == 0
 
 
 def test_trace_length_respected():
