@@ -109,10 +109,11 @@ def measure_fragmentation(
         dc_line_uops=dc_line_uops,
     )
 
+    instr_table = trace.instr_table
     distinct = set()
-    for record in trace.records:
-        base = record.instr.ip << 4
-        for index in range(record.instr.num_uops):
+    for ip, count in zip(trace.ips, trace.nuops):
+        base = ip << 4
+        for index in range(count):
             distinct.add(base | index)
     report.distinct_uops = len(distinct)
 
@@ -131,14 +132,14 @@ def measure_fragmentation(
     # TC: every distinct trace takes a 16-uop line.
     fill = TcFillUnit(tc_config)
     seen: Set[tuple] = set()
-    def lines_of(record_stream):
-        for record in record_stream:
-            yield from fill.feed(record)
+    def lines_of():
+        for ip, taken in zip(trace.ips, trace.takens):
+            yield from fill.feed(instr_table[ip], bool(taken))
         tail = fill.flush()
         if tail is not None:
             yield tail
 
-    for line in lines_of(trace.records):
+    for line in lines_of():
         signature = line.path_signature()
         if signature in seen:
             continue
@@ -153,8 +154,8 @@ def measure_fragmentation(
     pending_start = None
     pending_uops = 0
     expected_ip = None
-    for record in trace.records:
-        instr = record.instr
+    for ip in trace.ips:
+        instr = instr_table[ip]
         breaks = (
             pending_start is None
             or instr.ip != expected_ip

@@ -78,14 +78,15 @@ def measure_tc_redundancy(
     copies: Dict[int, int] = {}
     stored = 0
     start_ips: Set[int] = set()
-    def lines_of(record_stream):
-        for record in record_stream:
-            yield from fill.feed(record)
+    instr_table = trace.instr_table
+    def lines_of():
+        for ip, taken in zip(trace.ips, trace.takens):
+            yield from fill.feed(instr_table[ip], bool(taken))
         tail = fill.flush()
         if tail is not None:
             yield tail
 
-    for line in lines_of(trace.records):
+    for line in lines_of():
         signature = line.path_signature()
         if signature in seen:
             continue

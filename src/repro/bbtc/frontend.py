@@ -24,7 +24,7 @@ from repro.frontend.config import FrontendConfig
 from repro.frontend.icache import InstructionCache
 from repro.frontend.metrics import FrontendStats
 from repro.isa.instruction import Instruction, InstrKind
-from repro.trace.record import DynInstr, Trace
+from repro.trace.record import Trace
 
 
 class _Block:
@@ -77,10 +77,11 @@ class BbtcFrontend(FrontendModel):
 
     def __init__(
         self,
-        config: FrontendConfig = FrontendConfig(),
-        bbtc_config: BbtcConfig = BbtcConfig(),
+        config: Optional[FrontendConfig] = None,
+        bbtc_config: Optional[BbtcConfig] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config if config is not None else FrontendConfig())
+        bbtc_config = bbtc_config if bbtc_config is not None else BbtcConfig()
         bbtc_config.validate()
         self.bbtc_config = bbtc_config
 
@@ -109,8 +110,10 @@ class BbtcFrontend(FrontendModel):
         blocks = _SetAssoc(bc.num_sets, bc.assoc)
         table = _SetAssoc(bc.table_entries // bc.table_assoc, bc.table_assoc)
 
-        records = trace.records
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        instr_table = trace.instr_table
+        total = len(trace)
         pos = 0
         delivery = False
         # fill state
@@ -150,14 +153,14 @@ class BbtcFrontend(FrontendModel):
                 if not flow.can_accept(max_fetch_uops):
                     continue
                 stats.structure_lookups += 1
-                entry = table.get(records[pos].ip)
+                entry = table.get(ips[pos])
                 if entry is None:
                     delivery = False
                     stats.switches_to_build += 1
                     stats.add_penalty("mode_switch", config.mode_switch_penalty)
                     continue
                 uops, pos, complete = self._consume_trace(
-                    entry, blocks, records, pos, stats, gshare, rsb, indirect
+                    entry, blocks, trace, pos, stats, gshare, rsb, indirect
                 )
                 if uops == 0 and not complete:
                     # first block pointer missed in the block cache
@@ -173,14 +176,14 @@ class BbtcFrontend(FrontendModel):
                 stats.build_cycles += 1
                 if not flow.can_accept(max_build_uops):
                     continue
-                pos, cycle = engine.fetch_cycle(records, pos)
+                pos, cycle = engine.fetch_cycle(trace, pos)
                 stats.uops_from_ic += cycle.uops
                 flow.push(cycle.uops)
                 for cause, cycles in cycle.penalties.items():
                     stats.add_penalty(cause, cycles)
                 closed_any = False
-                for record in cycle.records:
-                    instr = record.instr
+                for i in range(cycle.start, cycle.end):
+                    instr = instr_table[ips[i]]
                     if (
                         pending_block
                         and pending_uops + instr.num_uops > bc.block_uops
@@ -189,7 +192,7 @@ class BbtcFrontend(FrontendModel):
                         if len(pending_trace) >= bc.blocks_per_trace:
                             close_trace()
                             closed_any = True
-                    pending_block.append((instr, record.taken))
+                    pending_block.append((instr, bool(takens[i])))
                     pending_uops += instr.num_uops
                     ends_block = (
                         instr.kind.is_branch
@@ -210,7 +213,7 @@ class BbtcFrontend(FrontendModel):
                 if (
                     closed_any
                     and pos < total
-                    and table.get(records[pos].ip) is not None
+                    and table.get(ips[pos]) is not None
                 ):
                     delivery = True
                     pending_block = []
@@ -230,7 +233,7 @@ class BbtcFrontend(FrontendModel):
         self,
         entry: Tuple[int, ...],
         blocks: _SetAssoc,
-        records: List[DynInstr],
+        trace: Trace,
         pos: int,
         stats: FrontendStats,
         gshare: GsharePredictor,
@@ -242,12 +245,15 @@ class BbtcFrontend(FrontendModel):
         Returns (uops delivered, new position, walked-to-end flag).
         """
         config = self.config
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        next_ips = trace.next_ips
+        total = len(ips)
         uops = 0
         consumed = 0
         for block_ip in entry:
             index = pos + consumed
-            if index >= total or records[index].ip != block_ip:
+            if index >= total or ips[index] != block_ip:
                 return uops, pos + consumed, False
             block = blocks.get(block_ip)
             if block is None:
@@ -257,19 +263,19 @@ class BbtcFrontend(FrontendModel):
                 index = pos + consumed
                 if index >= total:
                     return uops, pos + consumed, False
-                record = records[index]
-                if record.ip != instr.ip:
+                if ips[index] != instr.ip:
                     return uops, pos + consumed, False
                 consumed += 1
                 uops += instr.num_uops
                 kind = instr.kind
                 if kind is InstrKind.COND_BRANCH:
+                    taken = bool(takens[index])
                     stats.cond_predictions += 1
-                    if not gshare.update(record.ip, record.taken):
+                    if not gshare.update(instr.ip, taken):
                         stats.cond_mispredicts += 1
                         stats.add_penalty("mispredict", config.mispredict_penalty)
                         return uops, pos + consumed, False
-                    if record.taken != recorded_taken:
+                    if taken != recorded_taken:
                         diverged = True
                         break
                 elif kind is InstrKind.CALL:
@@ -277,17 +283,19 @@ class BbtcFrontend(FrontendModel):
                 elif kind is InstrKind.INDIRECT_CALL:
                     rsb.push(instr.next_ip)
                     stats.indirect_predictions += 1
-                    if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                    nxt = next_ips[index]
+                    if not indirect.update(instr.ip, nxt, nxt):
                         stats.indirect_mispredicts += 1
                         stats.add_penalty("mispredict", config.mispredict_penalty)
                 elif kind is InstrKind.INDIRECT_JUMP:
                     stats.indirect_predictions += 1
-                    if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                    nxt = next_ips[index]
+                    if not indirect.update(instr.ip, nxt, nxt):
                         stats.indirect_mispredicts += 1
                         stats.add_penalty("mispredict", config.mispredict_penalty)
                 elif kind is InstrKind.RETURN:
                     stats.return_predictions += 1
-                    if rsb.pop() != record.next_ip:
+                    if rsb.pop() != next_ips[index]:
                         stats.return_mispredicts += 1
                         stats.add_penalty("mispredict", config.mispredict_penalty)
             if diverged:

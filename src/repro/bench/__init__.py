@@ -1,0 +1,30 @@
+"""Performance benchmarking of the simulation core (``repro bench``).
+
+The repo's tier-1 tests pin *what* the simulators compute; this package
+pins *how fast*.  ``repro bench`` times trace generation and each
+frontend at a fixed uop budget and writes a ``BENCH_<rev>.json`` report
+so the repository accumulates a perf trajectory alongside its results.
+
+Machine-to-machine comparability comes from a calibration loop: every
+report embeds the score of a fixed pure-Python workload measured in the
+same process, and :func:`compare_to_baseline` rescales the baseline's
+throughput by the calibration ratio before applying the regression
+gate.  A 30% gate on calibrated throughput catches real slowdowns
+without tripping on CI machines that are merely slower overall.
+"""
+
+from repro.bench.harness import (
+    REGRESSION_TOLERANCE,
+    compare_to_baseline,
+    format_report,
+    run_bench,
+    write_report,
+)
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "compare_to_baseline",
+    "format_report",
+    "run_bench",
+    "write_report",
+]

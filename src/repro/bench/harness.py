@@ -1,0 +1,237 @@
+"""The benchmark harness behind ``repro bench``.
+
+Each *phase* is timed with ``time.perf_counter`` (best of N repeats,
+because the first repeat pays warm-up costs and the scheduler adds
+noise) and reported as seconds plus uops/second.  Peak RSS comes from
+``resource.getrusage`` where available (Linux/macOS; the import is
+gated so the harness still runs on platforms without it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.harness.registry import registry_spec
+from repro.harness.runner import FRONTEND_KINDS, run_frontend
+from repro.program.generator import generate_program
+from repro.program.profiles import profile_for_suite
+from repro.trace.executor import execute_program
+
+#: Allowed calibrated-throughput drop before the gate fails (30%).
+REGRESSION_TOLERANCE = 0.30
+
+#: Report schema version (bump when the JSON layout changes).
+SCHEMA = 1
+
+_BENCH_SUITES = ("specint", "games", "sysmark")
+_QUICK_SUITES = ("specint",)
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB, if measurable."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        return usage // 1024
+    return usage
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def calibrate(loops: int = 200_000) -> float:
+    """Score a fixed pure-Python workload in operations/second.
+
+    The workload (dict traffic, integer arithmetic, attribute-free
+    tight loop) is deliberately similar in character to the simulator
+    hot loops, so its score tracks how fast *this interpreter on this
+    machine* runs simulator-like code.  Reports embed the score;
+    cross-machine comparisons divide it out.
+    """
+    best = float("inf")
+    for _ in range(3):
+        table: Dict[int, int] = {}
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(loops):
+            key = (i * 2654435761) & 1023
+            acc += table.get(key, 0)
+            table[key] = acc & 0xFFFF
+        best = min(best, time.perf_counter() - t0)
+    return loops / best
+
+
+def _time_best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Best-of-*repeats* wall time of *fn* and its last return value."""
+    best = float("inf")
+    value: object = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def run_bench(
+    budget: int = 150_000,
+    quick: bool = False,
+    frontends: Optional[List[str]] = None,
+    profile_path: Optional[str] = None,
+) -> dict:
+    """Run the benchmark suite and return the report dict.
+
+    *budget* is the dynamic trace length in uops.  ``quick=True``
+    shrinks the budget and suite list for CI smoke use.  When
+    *profile_path* is set, the ``xbc`` phase additionally runs once
+    under :mod:`cProfile` and the stats are dumped there.
+    """
+    if quick:
+        budget = min(budget, 60_000)
+    suites = _QUICK_SUITES if quick else _BENCH_SUITES
+    repeats = 2 if quick else 3
+    kinds = list(frontends) if frontends else list(FRONTEND_KINDS)
+
+    phases: Dict[str, dict] = {}
+
+    # Phase 1: trace generation, caches bypassed (generator + executor
+    # called directly, exactly what a cold `make_trace` does).
+    def generate_all():
+        traces = []
+        for suite in suites:
+            spec = registry_spec(suite, 0, budget)
+            profile = profile_for_suite(spec.suite).scaled(spec.static_uops)
+            program = generate_program(
+                profile, seed=spec.seed, name=spec.name, suite=spec.suite
+            )
+            traces.append(execute_program(program, max_uops=spec.length_uops))
+        return traces
+
+    seconds, traces = _time_best(generate_all, repeats)
+    total_uops = sum(trace.total_uops for trace in traces)
+    phases["trace_gen"] = {
+        "seconds": round(seconds, 6),
+        "uops": total_uops,
+        "uops_per_sec": round(total_uops / seconds, 1),
+        "traces": len(traces),
+    }
+
+    # Phase 2..N: one phase per frontend, aggregated over the suites.
+    for kind in kinds:
+        total_seconds = 0.0
+        for trace in traces:
+            seconds, _ = _time_best(
+                lambda t=trace: run_frontend(kind, t), repeats
+            )
+            total_seconds += seconds
+        phases[f"frontend_{kind}"] = {
+            "seconds": round(total_seconds, 6),
+            "uops": total_uops,
+            "uops_per_sec": round(total_uops / total_seconds, 1),
+        }
+
+    if profile_path:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        trace = traces[0]
+        profiler.enable()
+        run_frontend("xbc", trace)
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+
+    return {
+        "schema": SCHEMA,
+        "rev": _git_rev(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "budget_uops": budget,
+        "quick": quick,
+        "suites": list(suites),
+        "repeats": repeats,
+        "calibration_ops_per_sec": round(calibrate(), 1),
+        "peak_rss_kb": _peak_rss_kb(),
+        "phases": phases,
+    }
+
+
+def write_report(report: dict, out_dir: str = ".") -> str:
+    """Write ``BENCH_<rev>.json`` into *out_dir*; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{report['rev']}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a report."""
+    lines = [
+        f"bench @ {report['rev']} "
+        f"(python {report['python']}, {report['cpu_count']} cpus, "
+        f"budget {report['budget_uops']} uops"
+        f"{', quick' if report.get('quick') else ''})",
+        f"  calibration: {report['calibration_ops_per_sec']:,.0f} ops/s",
+    ]
+    if report.get("peak_rss_kb") is not None:
+        lines.append(f"  peak RSS: {report['peak_rss_kb'] / 1024:.1f} MiB")
+    for name, phase in report["phases"].items():
+        lines.append(
+            f"  {name:<16} {phase['seconds']:8.3f}s   "
+            f"{phase['uops_per_sec']:>12,.0f} uops/s"
+        )
+    return "\n".join(lines)
+
+
+def compare_to_baseline(
+    report: dict,
+    baseline: dict,
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> List[str]:
+    """Regression check; returns failure messages (empty = pass).
+
+    The baseline's throughput is rescaled by the calibration ratio so
+    a slower CI machine does not read as a code regression; a phase
+    fails when its calibrated throughput drops more than *tolerance*.
+    """
+    failures: List[str] = []
+    base_cal = baseline.get("calibration_ops_per_sec") or 0
+    cur_cal = report.get("calibration_ops_per_sec") or 0
+    scale = (cur_cal / base_cal) if base_cal and cur_cal else 1.0
+    for name, base_phase in baseline.get("phases", {}).items():
+        phase = report.get("phases", {}).get(name)
+        if phase is None:
+            failures.append(f"{name}: present in baseline, missing from run")
+            continue
+        expected = base_phase["uops_per_sec"] * scale
+        actual = phase["uops_per_sec"]
+        if actual < expected * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {actual:,.0f} uops/s < "
+                f"{expected * (1.0 - tolerance):,.0f} "
+                f"(baseline {base_phase['uops_per_sec']:,.0f} x "
+                f"calibration {scale:.2f}, tolerance {tolerance:.0%})"
+            )
+    return failures

@@ -48,19 +48,22 @@ class GsharePredictor:
         single call the trace-driven frontends make per conditional
         branch: predict-then-train with the committed outcome.
         """
-        index = self._index(ip)
-        prediction = self._counters[index] >= 2
-        correct = prediction == taken
+        counters = self._counters
+        history = self.history
+        index = ((ip >> 1) ^ history) & self._index_mask
+        count = counters[index]
+        correct = (count >= 2) == taken
         self.predictions += 1
         if not correct:
             self.mispredictions += 1
         if taken:
-            if self._counters[index] < 3:
-                self._counters[index] += 1
+            if count < 3:
+                counters[index] = count + 1
+            self.history = ((history << 1) | 1) & self._history_mask
         else:
-            if self._counters[index] > 0:
-                self._counters[index] -= 1
-        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+            if count > 0:
+                counters[index] = count - 1
+            self.history = (history << 1) & self._history_mask
         return correct
 
     @property

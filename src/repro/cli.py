@@ -6,6 +6,7 @@ Commands map one-to-one onto the paper's artifacts:
 - ``claims`` — the §4/§5 in-text claims (T2, T3);
 - ``ablate`` — §3 design-choice ablations;
 - ``run`` — simulate one frontend on one synthetic trace;
+- ``bench`` — time the simulation core, write a ``BENCH_<rev>.json``;
 - ``info`` — describe the registry workloads.
 """
 
@@ -204,8 +205,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("frontend", choices=FRONTEND_KINDS)
     p.add_argument("--suite", choices=SUITE_NAMES, default="specint")
     p.add_argument("--index", type=int, default=0)
-    p.add_argument("--length", type=int, default=150_000)
+    # The columnar core made longer default runs free; experiments
+    # keep their own pinned lengths, so results are unaffected.
+    p.add_argument("--length", type=int, default=400_000)
     p.add_argument("--size", type=int, default=8192)
+
+    p = sub.add_parser(
+        "bench", help="time trace generation and each frontend; "
+        "write BENCH_<rev>.json"
+    )
+    p.add_argument("--budget", type=int, default=150_000,
+                   help="dynamic trace length in uops (default 150000)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller budget and one suite (CI smoke mode)")
+    p.add_argument("--frontend", action="append", default=None,
+                   choices=FRONTEND_KINDS, metavar="KIND",
+                   help="bench only these frontends (repeatable)")
+    p.add_argument("--profile", metavar="FILE", default=None,
+                   help="also cProfile one xbc run, dump stats to FILE")
+    p.add_argument("--out", metavar="DIR", default=".",
+                   help="directory for BENCH_<rev>.json (default .)")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare against a baseline report; exit 1 on "
+                   ">30%% calibrated-throughput regression")
 
     p = sub.add_parser("analyze", help="workload analysis: redundancy, "
                        "multi-entry XBs, reuse distances")
@@ -339,6 +361,36 @@ def _dispatch(args: argparse.Namespace) -> int:
             path = os.path.join(args.out, f"{spec.name}.trace")
             save_trace(trace, path)
             print(f"{path}: {trace.describe()}")
+    elif args.command == "bench":
+        from repro.bench import (
+            compare_to_baseline,
+            format_report,
+            run_bench,
+            write_report,
+        )
+
+        report = run_bench(
+            budget=args.budget,
+            quick=args.quick,
+            frontends=args.frontend,
+            profile_path=args.profile,
+        )
+        print(format_report(report))
+        path = write_report(report, args.out)
+        print(f"[report written to {path}]")
+        if args.profile:
+            print(f"[profile written to {args.profile}]")
+        if args.baseline:
+            import json as _json
+
+            with open(args.baseline, "r", encoding="utf-8") as handle:
+                baseline = _json.load(handle)
+            failures = compare_to_baseline(report, baseline)
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION {failure}", file=sys.stderr)
+                return 1
+            print(f"[no regression vs {args.baseline}]")
     elif args.command == "info":
         for spec in _registry(args):
             trace = make_trace(spec)
@@ -357,7 +409,41 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         else:
             print(f"[persistent cache] {root}: empty (no cache directory)")
+        print()
+        _print_perf_info()
     return 0
+
+
+def _print_perf_info() -> None:
+    """The ``info`` perf section: machine context + last bench report."""
+    import glob
+    import json as _json
+    import platform
+
+    print(
+        f"[perf] python {platform.python_version()} "
+        f"({platform.python_implementation()}), "
+        f"{os.cpu_count()} cpus, {platform.platform()}"
+    )
+    reports = []
+    for path in glob.glob("BENCH_*.json"):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                reports.append((os.path.getmtime(path), path,
+                                _json.load(handle)))
+        except (OSError, ValueError):
+            continue
+    if not reports:
+        print("[perf] no BENCH_*.json found (run `repro bench`)")
+        return
+    _, path, report = max(reports)
+    phases = report.get("phases", {})
+    summary = ", ".join(
+        f"{name.removeprefix('frontend_')}="
+        f"{phase['uops_per_sec']:,.0f} uops/s"
+        for name, phase in phases.items()
+    )
+    print(f"[perf] last bench {path} @ {report.get('rev', '?')}: {summary}")
 
 
 if __name__ == "__main__":  # pragma: no cover

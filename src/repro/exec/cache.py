@@ -26,7 +26,7 @@ from typing import Any, Dict, Optional
 
 from repro.exec.hashing import versioned_key
 from repro.trace.record import Trace
-from repro.trace.tracefile import load_trace, save_trace
+from repro.trace.tracefile import load_trace_auto, save_trace_binary
 
 
 def default_cache_dir() -> str:
@@ -155,7 +155,7 @@ class TraceStore:
         """Return the stored trace for *spec*, or ``None`` on a miss."""
         path = self._path(spec)
         try:
-            trace = load_trace(path)
+            trace = load_trace_auto(path)
         except FileNotFoundError:
             self._misses += 1
             return None
@@ -174,7 +174,7 @@ class TraceStore:
         """Persist *trace* under the key of *spec* (atomic)."""
         path = self._path(spec)
         tmp = f"{path}.tmp.{os.getpid()}"
-        save_trace(trace, tmp)
+        save_trace_binary(trace, tmp)
         os.replace(tmp, path)
 
     def stats(self) -> StoreStats:

@@ -11,13 +11,15 @@ One call to :meth:`BuildEngine.fetch_cycle` is one build-mode cycle:
 it supplies the instructions fetched and decoded that cycle (following
 the *actual* trace path; prediction quality is charged as stall cycles,
 the standard trace-driven-frontend treatment) plus the penalty cycles
-incurred.
+incurred.  The engine walks the trace's packed columns directly; the
+cycle reports the covered record range, with the classic per-record
+list available lazily as :attr:`BuildCycle.records`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.gshare import GsharePredictor
@@ -26,15 +28,28 @@ from repro.branch.rsb import ReturnStackBuffer
 from repro.frontend.config import FrontendConfig
 from repro.frontend.icache import InstructionCache
 from repro.frontend.metrics import FrontendStats
-from repro.isa.instruction import InstrKind
-from repro.trace.record import DynInstr
+from repro.isa.instruction import (
+    CODE_CALL,
+    CODE_COND_BRANCH,
+    CODE_INDIRECT_CALL,
+    CODE_JUMP,
+    CODE_RETURN,
+    KIND_IS_BRANCH,
+)
+from repro.trace.record import DynInstr, Trace
 
 
 @dataclass
 class BuildCycle:
-    """What one build-mode cycle produced."""
+    """What one build-mode cycle produced.
 
-    records: List[DynInstr] = field(default_factory=list)
+    ``trace``/``start``/``end`` name the record range fetched this
+    cycle; :attr:`records` materializes the per-record view on demand.
+    """
+
+    trace: Optional[Trace] = None
+    start: int = 0
+    end: int = 0
     uops: int = 0
     #: stall cycles by cause, to be charged by the caller.
     penalties: Dict[str, int] = field(default_factory=dict)
@@ -43,6 +58,23 @@ class BuildCycle:
         """Accumulate penalty cycles under a cause label."""
         if cycles > 0:
             self.penalties[cause] = self.penalties.get(cause, 0) + cycles
+
+    @property
+    def records(self) -> List[DynInstr]:
+        """The fetched records as :class:`DynInstr` objects (lazy)."""
+        trace = self.trace
+        if trace is None or self.end <= self.start:
+            return []
+        table = trace.instr_table
+        ips = trace.ips
+        takens = trace.takens
+        next_ips = trace.next_ips
+        return [
+            DynInstr(
+                instr=table[ips[i]], taken=bool(takens[i]), next_ip=next_ips[i]
+            )
+            for i in range(self.start, self.end)
+        ]
 
     @property
     def stall_cycles(self) -> int:
@@ -73,7 +105,7 @@ class BuildEngine:
 
     def fetch_cycle(
         self,
-        records: List[DynInstr],
+        trace: Trace,
         pos: int,
     ) -> Tuple[int, BuildCycle]:
         """Run one build-mode cycle starting at trace position *pos*.
@@ -83,64 +115,75 @@ class BuildEngine:
         or after the first control transfer (taken branch or call/ret).
         """
         config = self.config
-        cycle = BuildCycle()
-        record = records[pos]
+        ips = trace.ips
+        kinds = trace.kinds
+        nuops = trace.nuops
+        is_branch = KIND_IS_BRANCH
+        cycle = BuildCycle(trace=trace, start=pos, end=pos)
+        ip = ips[pos]
 
         self.stats.ic_lookups += 1
-        if not self.icache.access(record.ip):
+        if not self.icache.access(ip):
             self.stats.ic_misses += 1
             cycle.charge("ic_miss", config.ic_miss_latency)
 
-        window_start = record.ip & ~(config.fetch_block_bytes - 1)
+        window_start = ip & ~(config.fetch_block_bytes - 1)
         window_end = window_start + config.fetch_block_bytes
 
-        while len(cycle.records) < config.decode_width and pos < len(records):
-            record = records[pos]
-            if not window_start <= record.ip < window_end:
+        total = len(ips)
+        limit = min(total, pos + config.decode_width)
+        uops = 0
+        while pos < limit:
+            ip = ips[pos]
+            if not window_start <= ip < window_end:
                 break  # sequential prefetch continues next cycle
-            cycle.records.append(record)
-            cycle.uops += record.instr.num_uops
+            uops += nuops[pos]
             pos += 1
-            if record.instr.kind.is_branch:
-                redirected = self._handle_branch(record, cycle)
+            if is_branch[kinds[pos - 1]]:
+                cycle.uops = uops
+                redirected = self._handle_branch(trace, pos - 1, cycle)
                 if redirected:
                     break
+        cycle.uops = uops
+        cycle.end = pos
         return pos, cycle
 
     # ------------------------------------------------------------------
 
-    def _handle_branch(self, record: DynInstr, cycle: BuildCycle) -> bool:
+    def _handle_branch(self, trace: Trace, index: int, cycle: BuildCycle) -> bool:
         """Predict/train on a branch; returns True when fetch must stop."""
         config = self.config
         stats = self.stats
-        kind = record.instr.kind
-        ip = record.ip
+        code = trace.kinds[index]
+        ip = trace.ips[index]
+        next_ip = trace.next_ips[index]
 
-        if kind is InstrKind.COND_BRANCH:
+        if code == CODE_COND_BRANCH:
+            taken = bool(trace.takens[index])
             stats.cond_predictions += 1
-            correct = self.cond_predictor.update(ip, record.taken)
+            correct = self.cond_predictor.update(ip, taken)
             if not correct:
                 stats.cond_mispredicts += 1
                 cycle.charge("mispredict", config.mispredict_penalty)
                 return True
-            if record.taken:
-                self._charge_redirect(ip, record.next_ip, cycle)
+            if taken:
+                self._charge_redirect(ip, next_ip, cycle)
                 return True
             return False
 
-        if kind is InstrKind.JUMP:
-            self._charge_redirect(ip, record.next_ip, cycle)
+        if code == CODE_JUMP:
+            self._charge_redirect(ip, next_ip, cycle)
             return True
 
-        if kind is InstrKind.CALL:
-            self.rsb.push(record.instr.next_ip)
-            self._charge_redirect(ip, record.next_ip, cycle)
+        if code == CODE_CALL:
+            self.rsb.push(trace.snexts[index])
+            self._charge_redirect(ip, next_ip, cycle)
             return True
 
-        if kind is InstrKind.RETURN:
+        if code == CODE_RETURN:
             stats.return_predictions += 1
             predicted = self.rsb.pop()
-            if predicted != record.next_ip:
+            if predicted != next_ip:
                 stats.return_mispredicts += 1
                 cycle.charge("mispredict", config.mispredict_penalty)
             else:
@@ -149,9 +192,9 @@ class BuildEngine:
 
         # Indirect jump or indirect call.
         stats.indirect_predictions += 1
-        if kind is InstrKind.INDIRECT_CALL:
-            self.rsb.push(record.instr.next_ip)
-        correct = self.indirect.update(ip, record.next_ip, record.next_ip)
+        if code == CODE_INDIRECT_CALL:
+            self.rsb.push(trace.snexts[index])
+        correct = self.indirect.update(ip, next_ip, next_ip)
         if not correct:
             stats.indirect_mispredicts += 1
             cycle.charge("mispredict", config.mispredict_penalty)

@@ -31,7 +31,7 @@ from repro.frontend.config import FrontendConfig
 from repro.frontend.icache import InstructionCache
 from repro.frontend.metrics import FrontendStats
 from repro.isa.instruction import Instruction, InstrKind
-from repro.trace.record import DynInstr, Trace
+from repro.trace.record import Trace
 
 
 @dataclass(frozen=True)
@@ -77,10 +77,11 @@ class DecodedCacheFrontend(FrontendModel):
 
     def __init__(
         self,
-        config: FrontendConfig = FrontendConfig(),
-        dc_config: DcConfig = DcConfig(),
+        config: Optional[FrontendConfig] = None,
+        dc_config: Optional[DcConfig] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config if config is not None else FrontendConfig())
+        dc_config = dc_config if dc_config is not None else DcConfig()
         dc_config.validate()
         self.dc_config = dc_config
 
@@ -135,8 +136,10 @@ class DecodedCacheFrontend(FrontendModel):
                 del bucket[victim]
             bucket[line.start_ip] = (line, clock)
 
-        records = trace.records
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        instr_table = trace.instr_table
+        total = len(trace)
         pos = 0
         delivery = False
         pending: List[Instruction] = []
@@ -164,7 +167,7 @@ class DecodedCacheFrontend(FrontendModel):
                 if not flow.can_accept(dc.line_uops):
                     continue
                 stats.structure_lookups += 1
-                line = lookup(records[pos].ip)
+                line = lookup(ips[pos])
                 if line is None:
                     delivery = False
                     stats.switches_to_build += 1
@@ -173,7 +176,7 @@ class DecodedCacheFrontend(FrontendModel):
                 stats.structure_hits += 1
                 stats.structure_fetch_cycles += 1
                 uops, pos = self._consume_line(
-                    line, records, pos, stats, gshare, rsb, indirect
+                    line, trace, pos, stats, gshare, rsb, indirect
                 )
                 stats.uops_from_structure += uops
                 flow.push(uops)
@@ -181,15 +184,15 @@ class DecodedCacheFrontend(FrontendModel):
                 stats.build_cycles += 1
                 if not flow.can_accept(max_build_uops):
                     continue
-                pos, cycle = engine.fetch_cycle(records, pos)
+                pos, cycle = engine.fetch_cycle(trace, pos)
                 stats.uops_from_ic += cycle.uops
                 flow.push(cycle.uops)
                 for cause, cycles in cycle.penalties.items():
                     stats.add_penalty(cause, cycles)
 
                 closed = False
-                for record in cycle.records:
-                    instr = record.instr
+                for i in range(cycle.start, cycle.end):
+                    instr = instr_table[ips[i]]
                     if pending and (
                         instr.ip != pending_next_ip
                         or pending_uops + instr.num_uops > dc.line_uops
@@ -203,11 +206,11 @@ class DecodedCacheFrontend(FrontendModel):
                     # conditional's fallthrough may continue in-line.
                     ends = instr.kind.is_branch and (
                         instr.kind is not InstrKind.COND_BRANCH
-                        or record.taken
+                        or takens[i]
                     )
                     if ends or pending_uops >= dc.line_uops:
                         closed |= close_pending()
-                if closed and pos < total and lookup(records[pos].ip):
+                if closed and pos < total and lookup(ips[pos]):
                     delivery = True
                     pending = []
                     pending_uops = 0
@@ -224,7 +227,7 @@ class DecodedCacheFrontend(FrontendModel):
     def _consume_line(
         self,
         line: _DcLine,
-        records: List[DynInstr],
+        trace: Trace,
         pos: int,
         stats: FrontendStats,
         gshare: GsharePredictor,
@@ -233,33 +236,36 @@ class DecodedCacheFrontend(FrontendModel):
     ) -> Tuple[int, int]:
         """Deliver a line against the actual path (one run per cycle)."""
         config = self.config
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        next_ips = trace.next_ips
+        total = len(ips)
         uops = 0
         consumed = 0
         for instr in line.instrs:
             index = pos + consumed
             if index >= total:
                 break
-            record = records[index]
-            if record.ip != instr.ip:
+            if ips[index] != instr.ip:
                 break
             consumed += 1
             uops += instr.num_uops
             kind = instr.kind
             if kind is InstrKind.COND_BRANCH:
+                taken = bool(takens[index])
                 stats.cond_predictions += 1
-                if not gshare.update(record.ip, record.taken):
+                if not gshare.update(instr.ip, taken):
                     stats.cond_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
                     break
-                if record.taken:
+                if taken:
                     break  # taken branch ends the fetch run
             elif kind is InstrKind.CALL:
                 rsb.push(instr.next_ip)
                 break
             elif kind is InstrKind.RETURN:
                 stats.return_predictions += 1
-                if rsb.pop() != record.next_ip:
+                if rsb.pop() != next_ips[index]:
                     stats.return_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
                 break
@@ -267,7 +273,8 @@ class DecodedCacheFrontend(FrontendModel):
                 if kind is InstrKind.INDIRECT_CALL:
                     rsb.push(instr.next_ip)
                 stats.indirect_predictions += 1
-                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                nxt = next_ips[index]
+                if not indirect.update(instr.ip, nxt, nxt):
                     stats.indirect_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
                 break

@@ -15,6 +15,8 @@ the first stall (mispredict, IC miss, BTB miss).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.gshare import GsharePredictor
 from repro.branch.indirect import IndirectPredictor
@@ -34,10 +36,10 @@ class ICFrontend(FrontendModel):
 
     def __init__(
         self,
-        config: FrontendConfig = FrontendConfig(),
+        config: Optional[FrontendConfig] = None,
         ports: int = 1,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config if config is not None else FrontendConfig())
         if ports < 1:
             raise ValueError(f"ports must be >= 1, got {ports}")
         self.ports = ports
@@ -63,19 +65,19 @@ class ICFrontend(FrontendModel):
             ),
         )
 
-        records = trace.records
+        total = len(trace)
         pos = 0
         max_fetch_uops = 4 * config.decode_width  # worst case 4 uops/instr
-        while pos < len(records):
+        while pos < total:
             stats.cycles += 1
             stats.build_cycles += 1
             flow.drain()
             for _port in range(self.ports):
-                if pos >= len(records):
+                if pos >= total:
                     break
                 if not flow.can_accept(max_fetch_uops):
                     break
-                pos, cycle = engine.fetch_cycle(records, pos)
+                pos, cycle = engine.fetch_cycle(trace, pos)
                 stats.uops_from_ic += cycle.uops
                 flow.push(cycle.uops)
                 stalled = False

@@ -173,10 +173,16 @@ def make_trace(spec: TraceSpec) -> Trace:
 
 
 def _trace_bytes(trace: Trace) -> int:
-    """Rough resident size of one cached trace's record list."""
-    size = sys.getsizeof(trace.records)
-    if trace.records:
-        size += len(trace.records) * sys.getsizeof(trace.records[0])
+    """Rough resident size of one cached trace's columns."""
+    size = (
+        sys.getsizeof(trace.ips)
+        + sys.getsizeof(trace.takens)
+        + sys.getsizeof(trace.next_ips)
+        + sys.getsizeof(trace.kinds)
+        + sys.getsizeof(trace.nuops)
+        + sys.getsizeof(trace.snexts)
+    )
+    size += sys.getsizeof(trace.instr_table)
     return size
 
 

@@ -75,6 +75,37 @@ class InstrKind(enum.Enum):
         return self.is_branch
 
 
+# -- integer kind codes --------------------------------------------------------
+# The columnar trace stores one small int per record instead of an enum
+# member; the hot loops dispatch on these codes and index the boolean
+# tables below, which is several times cheaper than enum attribute
+# access (enum ``__hash__``/descriptor lookups dominate otherwise).
+
+#: Fixed code assignment, stable across runs (definition order).
+KIND_CODE: "dict[InstrKind, int]" = {kind: i for i, kind in enumerate(InstrKind)}
+
+#: Inverse mapping: ``KINDS_BY_CODE[code] is kind``.
+KINDS_BY_CODE: Tuple[InstrKind, ...] = tuple(InstrKind)
+
+CODE_ALU = KIND_CODE[InstrKind.ALU]
+CODE_LOAD = KIND_CODE[InstrKind.LOAD]
+CODE_STORE = KIND_CODE[InstrKind.STORE]
+CODE_COND_BRANCH = KIND_CODE[InstrKind.COND_BRANCH]
+CODE_JUMP = KIND_CODE[InstrKind.JUMP]
+CODE_INDIRECT_JUMP = KIND_CODE[InstrKind.INDIRECT_JUMP]
+CODE_CALL = KIND_CODE[InstrKind.CALL]
+CODE_INDIRECT_CALL = KIND_CODE[InstrKind.INDIRECT_CALL]
+CODE_RETURN = KIND_CODE[InstrKind.RETURN]
+
+#: Boolean lookup tables indexed by kind code (mirror the properties).
+KIND_IS_BRANCH: Tuple[bool, ...] = tuple(k.is_branch for k in KINDS_BY_CODE)
+KIND_IS_COND: Tuple[bool, ...] = tuple(k.is_conditional for k in KINDS_BY_CODE)
+KIND_IS_INDIRECT: Tuple[bool, ...] = tuple(k.is_indirect for k in KINDS_BY_CODE)
+KIND_IS_CALL: Tuple[bool, ...] = tuple(k.is_call for k in KINDS_BY_CODE)
+KIND_ENDS_BB: Tuple[bool, ...] = tuple(k.ends_basic_block for k in KINDS_BY_CODE)
+KIND_ENDS_XB: Tuple[bool, ...] = tuple(k.ends_xb for k in KINDS_BY_CODE)
+
+
 @dataclass(frozen=True)
 class Instruction:
     """One static instruction of the synthetic program.

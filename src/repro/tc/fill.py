@@ -11,10 +11,9 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.isa.instruction import InstrKind
+from repro.isa.instruction import Instruction, InstrKind
 from repro.tc.config import TcConfig
 from repro.tc.trace_line import TraceEntry, TraceLine
-from repro.trace.record import DynInstr
 
 #: Instruction kinds that terminate a trace when appended.
 _TRACE_ENDERS = (
@@ -45,7 +44,7 @@ class TcFillUnit:
         self._pending_uops = 0
         self._pending_conds = 0
 
-    def feed(self, record: DynInstr) -> List[TraceLine]:
+    def feed(self, instr: Instruction, taken: bool) -> List[TraceLine]:
         """Add one executed instruction; returns completed lines.
 
         Usually zero or one line completes; two complete when a quota
@@ -53,7 +52,6 @@ class TcFillUnit:
         many-uop indirect branch that does not fit the current line).
         """
         config = self.config
-        instr = record.instr
 
         completed: List[TraceLine] = []
         if (
@@ -65,7 +63,7 @@ class TcFillUnit:
             if line is not None:
                 completed.append(line)
 
-        self._pending.append(TraceEntry(instr=instr, taken=record.taken))
+        self._pending.append(TraceEntry(instr=instr, taken=taken))
         self._pending_uops += instr.num_uops
         if instr.kind is InstrKind.COND_BRANCH:
             self._pending_conds += 1

@@ -11,7 +11,7 @@ the frontend switches back to delivery.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.gshare import GsharePredictor
@@ -27,7 +27,7 @@ from repro.tc.cache import TraceCache
 from repro.tc.config import TcConfig
 from repro.tc.fill import TcFillUnit
 from repro.tc.trace_line import TraceLine
-from repro.trace.record import DynInstr, Trace
+from repro.trace.record import Trace
 
 
 class TcFrontend(FrontendModel):
@@ -37,10 +37,11 @@ class TcFrontend(FrontendModel):
 
     def __init__(
         self,
-        config: FrontendConfig = FrontendConfig(),
-        tc_config: TcConfig = TcConfig(),
+        config: Optional[FrontendConfig] = None,
+        tc_config: Optional[TcConfig] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config if config is not None else FrontendConfig())
+        tc_config = tc_config if tc_config is not None else TcConfig()
         tc_config.validate()
         self.tc_config = tc_config
 
@@ -71,8 +72,10 @@ class TcFrontend(FrontendModel):
         cache = TraceCache(self.tc_config)
         fill = TcFillUnit(self.tc_config)
 
-        records = trace.records
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        instr_table = trace.instr_table
+        total = len(trace)
         pos = 0
         delivery = False
         max_build_uops = 4 * config.decode_width
@@ -87,7 +90,7 @@ class TcFrontend(FrontendModel):
                     continue
                 stats.structure_lookups += 1
                 line = self._select_line(
-                    cache, cache.lookup_all(records[pos].ip), gshare
+                    cache, cache.lookup_all(ips[pos]), gshare
                 )
                 if line is None:
                     delivery = False
@@ -97,7 +100,7 @@ class TcFrontend(FrontendModel):
                 stats.structure_hits += 1
                 stats.structure_fetch_cycles += 1
                 uops, pos = self._consume_line(
-                    line, records, pos, stats, gshare, rsb, indirect
+                    line, trace, pos, stats, gshare, rsb, indirect
                 )
                 stats.uops_from_structure += uops
                 flow.push(uops)
@@ -105,18 +108,18 @@ class TcFrontend(FrontendModel):
                 stats.build_cycles += 1
                 if not flow.can_accept(max_build_uops):
                     continue
-                pos, cycle = engine.fetch_cycle(records, pos)
+                pos, cycle = engine.fetch_cycle(trace, pos)
                 stats.uops_from_ic += cycle.uops
                 flow.push(cycle.uops)
                 for cause, cycles in cycle.penalties.items():
                     stats.add_penalty(cause, cycles)
                 completed = False
-                for record in cycle.records:
-                    for line in fill.feed(record):
+                for i in range(cycle.start, cycle.end):
+                    for line in fill.feed(instr_table[ips[i]], bool(takens[i])):
                         cache.insert(line)
                         stats.blocks_built += 1
                         completed = True
-                if completed and pos < total and cache.contains(records[pos].ip):
+                if completed and pos < total and cache.contains(ips[pos]):
                     delivery = True
                     fill.abandon()
                     stats.switches_to_delivery += 1
@@ -158,7 +161,7 @@ class TcFrontend(FrontendModel):
     def _consume_line(
         self,
         line: TraceLine,
-        records: List[DynInstr],
+        trace: Trace,
         pos: int,
         stats: FrontendStats,
         gshare: GsharePredictor,
@@ -172,45 +175,51 @@ class TcFrontend(FrontendModel):
         recorded path or the prediction leaves the actual path.
         """
         config = self.config
-        total = len(records)
+        ips = trace.ips
+        takens = trace.takens
+        next_ips = trace.next_ips
+        total = len(ips)
         uops = 0
         consumed = 0
         for entry in line.entries:
             index = pos + consumed
             if index >= total:
                 break
-            record = records[index]
-            if record.ip != entry.instr.ip:
+            instr = entry.instr
+            if ips[index] != instr.ip:
                 break  # stale line contents relative to the actual path
             consumed += 1
-            uops += entry.instr.num_uops
-            kind = entry.instr.kind
+            uops += instr.num_uops
+            kind = instr.kind
 
             if kind is InstrKind.COND_BRANCH:
+                taken = bool(takens[index])
                 stats.cond_predictions += 1
-                correct = gshare.update(record.ip, record.taken)
+                correct = gshare.update(instr.ip, taken)
                 if not correct:
                     stats.cond_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
                     break
-                if record.taken != entry.taken:
+                if taken != entry.taken:
                     break  # partial hit: recorded path leaves the actual path
             elif kind is InstrKind.CALL:
-                rsb.push(entry.instr.next_ip)
+                rsb.push(instr.next_ip)
             elif kind is InstrKind.INDIRECT_CALL:
-                rsb.push(entry.instr.next_ip)
+                rsb.push(instr.next_ip)
                 stats.indirect_predictions += 1
-                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                nxt = next_ips[index]
+                if not indirect.update(instr.ip, nxt, nxt):
                     stats.indirect_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
             elif kind is InstrKind.INDIRECT_JUMP:
                 stats.indirect_predictions += 1
-                if not indirect.update(record.ip, record.next_ip, record.next_ip):
+                nxt = next_ips[index]
+                if not indirect.update(instr.ip, nxt, nxt):
                     stats.indirect_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
             elif kind is InstrKind.RETURN:
                 stats.return_predictions += 1
-                if rsb.pop() != record.next_ip:
+                if rsb.pop() != next_ips[index]:
                     stats.return_mispredicts += 1
                     stats.add_penalty("mispredict", config.mispredict_penalty)
         return uops, pos + consumed

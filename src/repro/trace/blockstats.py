@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Tuple
 
 from repro.common.histogram import Histogram
-from repro.isa.instruction import InstrKind
+from repro.isa.instruction import (
+    CODE_CALL,
+    CODE_COND_BRANCH,
+    KIND_ENDS_BB,
+    KIND_ENDS_XB,
+    InstrKind,
+)
 from repro.trace.record import DynInstr, Trace
 
 #: The quota every block definition respects (uops).
@@ -144,8 +150,23 @@ def compute_block_stats(
     the promotion counters warmed over the run), the second accumulates
     the block-length histograms.
     """
-    bias = measure_branch_bias(trace.records)
-    counts = _execution_counts(trace.records)
+    ips = trace.ips
+    takens = trace.takens
+    kinds = trace.kinds
+    nuops = trace.nuops
+
+    # Pass 1: per-branch taken rates and execution counts, off the columns.
+    taken_counts: Dict[int, int] = {}
+    counts: Dict[int, int] = {}
+    for i in range(len(ips)):
+        if kinds[i] == CODE_COND_BRANCH:
+            ip = ips[i]
+            counts[ip] = counts.get(ip, 0) + 1
+            if takens[i]:
+                taken_counts[ip] = taken_counts.get(ip, 0) + 1
+    bias = {
+        ip: taken_counts.get(ip, 0) / count for ip, count in counts.items()
+    }
     promoted = monotonic_branches(bias, counts, promotion_threshold)
 
     stats = BlockLengthStats()
@@ -154,16 +175,16 @@ def compute_block_stats(
     xb = _BlockAccumulator(stats.xb, lengths=xb_lengths)
     xbp = _BlockAccumulator(stats.xb_promoted)
 
-    for record in trace.records:
-        kind = record.instr.kind
-        uops = record.instr.num_uops
-        bb.feed(uops, ends_block=kind.ends_basic_block)
+    for i in range(len(ips)):
+        code = kinds[i]
+        uops = nuops[i]
+        bb.feed(uops, ends_block=KIND_ENDS_BB[code])
 
-        ends_xb = kind.ends_xb or kind is InstrKind.CALL
+        ends_xb = KIND_ENDS_XB[code] or code == CODE_CALL
         xb.feed(uops, ends_block=ends_xb)
 
         ends_promoted = ends_xb
-        if kind is InstrKind.COND_BRANCH and promoted.get(record.instr.ip, False):
+        if code == CODE_COND_BRANCH and promoted.get(ips[i], False):
             ends_promoted = False
         xbp.feed(uops, ends_block=ends_promoted)
 

@@ -6,6 +6,13 @@ each branch's behaviour model, maintaining a call stack for
 call/return pairing — and emits the dynamic instruction stream the
 frontend simulators replay.
 
+Since the columnar rewrite the executor appends straight into the
+trace's packed columns.  Each basic block's body is identical on every
+execution, so it is rendered once into a *template* (per-column arrays
+plus the static instruction entries) and replayed with C-speed
+``array.extend`` calls; only the terminator's dynamic outcome is
+resolved per execution.
+
 Execution ends when the uop budget is reached (the synthetic ``main``
 loops forever by construction, mirroring how the paper samples 30M
 consecutive instructions out of longer executions).
@@ -13,15 +20,51 @@ consecutive instructions out of longer executions).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from array import array
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
+from repro.isa.instruction import KIND_CODE
 from repro.program.cfg import LayoutBlock, Program, TerminatorKind
-from repro.trace.record import DynInstr, Trace
+from repro.trace.record import Trace
 
 #: Hard cap on the executor's call stack; deeper than any generated
 #: call graph, so hitting it means a generator bug (recursion).
 _MAX_CALL_DEPTH = 128
+
+
+class _BlockTemplate:
+    """Precomputed columnar rendering of one block's body + terminator."""
+
+    __slots__ = (
+        "ips", "zeros", "next_ips", "kinds", "nuops", "snexts",
+        "body_uops", "term_ip", "term_kind_code", "term_nuops",
+        "term_snext", "total_len",
+    )
+
+    def __init__(self, block: LayoutBlock) -> None:
+        self.ips = array("q")
+        self.next_ips = array("q")
+        self.kinds = array("b")
+        self.nuops = array("b")
+        self.snexts = array("q")
+        kind_code = KIND_CODE
+        uops = 0
+        for instr in block.body:
+            self.ips.append(instr.ip)
+            self.next_ips.append(instr.next_ip)
+            self.kinds.append(kind_code[instr.kind])
+            self.nuops.append(instr.num_uops)
+            self.snexts.append(instr.next_ip)
+            uops += instr.num_uops
+        self.zeros = array("b", bytes(len(self.ips)))
+        self.body_uops = uops
+        term = block.terminator
+        self.term_ip = term.ip
+        self.term_kind_code = kind_code[term.kind]
+        self.term_nuops = term.num_uops
+        self.term_snext = term.next_ip
+        self.total_len = len(self.ips) + 1
 
 
 class TraceExecutor:
@@ -29,6 +72,7 @@ class TraceExecutor:
 
     def __init__(self, program: Program) -> None:
         self.program = program
+        self._templates: Dict[int, _BlockTemplate] = {}
 
     def run(self, max_uops: int, max_instructions: Optional[int] = None) -> Trace:
         """Execute from the program entry until *max_uops* are emitted.
@@ -38,19 +82,57 @@ class TraceExecutor:
         """
         program = self.program
         program.reset_behaviors()
-        records: List[DynInstr] = []
+        ips = array("q")
+        takens = array("b")
+        next_ips = array("q")
+        kinds = array("b")
+        nuops = array("b")
+        snexts = array("q")
+        instr_table = {}
         uops = 0
+        count = 0
         instr_cap = max_instructions if max_instructions is not None else 2**62
 
         call_stack: List[int] = []  # bids execution resumes at after RET
         block = program.entry_block
+        templates = self._templates
+        execute_terminator = self._execute_terminator
 
-        while uops < max_uops and len(records) < instr_cap:
-            uops += self._emit_body(block, records)
-            next_block, taken, next_ip = self._execute_terminator(block, call_stack)
-            term = block.terminator
-            records.append(DynInstr(instr=term, taken=taken, next_ip=next_ip))
-            uops += term.num_uops
+        while uops < max_uops and count < instr_cap:
+            template = templates.get(block.bid)
+            if template is None:
+                template = _BlockTemplate(block)
+                templates[block.bid] = template
+                for instr in block.body:
+                    instr_table[instr.ip] = instr
+                instr_table[block.terminator.ip] = block.terminator
+            elif template.term_ip not in instr_table:
+                # A fresh run() call reuses templates but rebuilds the
+                # table, so re-register the block's instructions.
+                for instr in block.body:
+                    instr_table[instr.ip] = instr
+                instr_table[block.terminator.ip] = block.terminator
+
+            # Body: straight columnar replay of the template.
+            ips.extend(template.ips)
+            takens.extend(template.zeros)
+            next_ips.extend(template.next_ips)
+            kinds.extend(template.kinds)
+            nuops.extend(template.nuops)
+            snexts.extend(template.snexts)
+            uops += template.body_uops
+
+            # Terminator: the only dynamic part.
+            next_block, taken, next_ip = execute_terminator(block, call_stack)
+            ips.append(template.term_ip)
+            takens.append(1 if taken else 0)
+            next_ips.append(next_ip)
+            kinds.append(template.term_kind_code)
+            nuops.append(template.term_nuops)
+            snexts.append(template.term_snext)
+            uops += template.term_nuops
+            count += template.total_len
+
             if next_block is None:
                 raise SimulationError(
                     f"execution fell off the program at block {block.bid} "
@@ -58,30 +140,18 @@ class TraceExecutor:
                 )
             block = next_block
 
-        return Trace(
-            records=records,
-            name=program.name,
-            suite=program.suite,
-            seed=program.seed,
+        return Trace.from_columns(
+            ips, takens, next_ips, kinds, nuops, snexts, instr_table,
+            name=program.name, suite=program.suite, seed=program.seed,
         )
 
     # ------------------------------------------------------------------
-
-    def _emit_body(self, block: LayoutBlock, records: List[DynInstr]) -> int:
-        """Emit the block's non-branch instructions; returns uops emitted."""
-        uops = 0
-        for instr in block.body:
-            records.append(
-                DynInstr(instr=instr, taken=False, next_ip=instr.next_ip)
-            )
-            uops += instr.num_uops
-        return uops
 
     def _execute_terminator(
         self,
         block: LayoutBlock,
         call_stack: List[int],
-    ):
+    ) -> Tuple[Optional[LayoutBlock], bool, int]:
         """Resolve the terminator; returns ``(next_block, taken, next_ip)``."""
         program = self.program
         kind = block.terminator_kind

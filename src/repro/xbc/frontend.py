@@ -22,8 +22,9 @@ came from the XBC.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.branch.bias import BIAS_MAX, PROMOTE_HIGH, PROMOTE_LOW
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.gshare import GsharePredictor
 from repro.branch.indirect import IndirectPredictor
@@ -45,27 +46,40 @@ from repro.xbc.xbseq import XbStep, build_xb_stream
 from repro.xbc.xbtb import Xbtb, XbtbEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class FetchUnit:
     """One XBC fetch in flight: a located XB entry point."""
 
     xb_ip: int
     mask: int
     offset: int                     # uops still to fetch, from the end
-    rev_expected: List[int]         # expected uops, distance order
+    rev_expected: Sequence[int]     # expected uops, distance order
     advance_steps: int              # steps completed when this unit finishes
     source_ptr: Optional[XbPointer] = None  # repaired in place by set search
     delivered: int = 0              # uops already delivered (partial fetches)
     counted: bool = False           # structure_lookups already incremented
     hit_counted: bool = False       # structure_hits already incremented
+    #: last successful probe, valid while the storage version is
+    #: unchanged (deferral retries re-fetch the same lines; skip the
+    #: content re-verification when nothing mutated in between)
+    cached_map: Optional[dict] = None
+    cached_version: int = -1
+    #: OR of the cached mapping's bank bits — one AND decides the
+    #: no-conflict arbitration fast path
+    cached_bits: int = 0
+    #: fast path is only sound when the mapping's orders sit in
+    #: pairwise-distinct banks (a bank serves one line per cycle, so a
+    #: same-bank pair must go through the serializing slow loop)
+    cached_clean: bool = False
 
 
 class _Run:
     """All mutable state of one simulation (one trace, one frontend)."""
 
     def __init__(self) -> None:
-        self.records = None
+        self.trace: Optional[Trace] = None
         self.steps: List[XbStep] = []
+        self.n_steps = 0
         self.stats: FrontendStats = None  # type: ignore[assignment]
         self.flow: UopFlow = None  # type: ignore[assignment]
         self.gshare: GsharePredictor = None  # type: ignore[assignment]
@@ -92,6 +106,26 @@ class _Run:
         self.xibtb_source: Optional[XbtbEntry] = None
         self.resolved: Optional[Tuple[str, Optional[FetchUnit]]] = None
         self.pending: Optional[FetchUnit] = None
+        self.max_xb = 0        # hoisted XbcConfig.max_xb_uops
+        #: (id(step.uops), consumed) -> (tail, tail reversed).  The memo
+        #: holds the tail tuples alive, so a split-chain occurrence
+        #: reuses ONE tuple object per (static chunk, consumed) pair —
+        #: which is what lets the pointer-level probe memo hit on the
+        #: identity compare of rev_expected.
+        self.tails: dict = {}
+        #: (id(seq), offset) -> reversed prefix of seq.  Keys are only
+        #: ever step.uops tuples or memoized tails (both run-lifetime
+        #: objects), so the ids are stable.
+        self.rev_memo: dict = {}
+        #: (xb_ip, offset, id(expected)) -> (storage version, mask or
+        #: None): the outcome of one payload resolution, reusable while
+        #: the storage is unchanged (the resolution is a pure function
+        #: of the version; its heal side effects are idempotent).
+        self.payload_memo: dict = {}
+        #: (xb_ip, mask, offset, id(expected)) -> (set version, map):
+        #: probe memo for pointer-less fetch units (combined XBs),
+        #: which have no XbPointer to hang the cache on.
+        self.probe_memo: dict = {}
 
 
 class XbcFrontend(FrontendModel):
@@ -101,10 +135,11 @@ class XbcFrontend(FrontendModel):
 
     def __init__(
         self,
-        config: FrontendConfig = FrontendConfig(),
-        xbc_config: XbcConfig = XbcConfig(),
+        config: Optional[FrontendConfig] = None,
+        xbc_config: Optional[XbcConfig] = None,
     ) -> None:
-        super().__init__(config)
+        super().__init__(config if config is not None else FrontendConfig())
+        xbc_config = xbc_config if xbc_config is not None else XbcConfig()
         xbc_config.validate()
         self.xbc_config = xbc_config
 
@@ -117,8 +152,9 @@ class XbcFrontend(FrontendModel):
         config = self.config
         xc = self.xbc_config
         r = _Run()
-        r.records = trace.records
+        r.trace = trace
         r.steps = build_xb_stream(trace, xc.max_xb_uops)
+        r.n_steps = len(r.steps)
         r.stats = FrontendStats(frontend=self.name, trace_name=trace.name)
         r.flow = UopFlow(config, r.stats)
         r.gshare = GsharePredictor(config.gshare_history_bits, config.gshare_entries)
@@ -143,11 +179,37 @@ class XbcFrontend(FrontendModel):
         r.xbtb = Xbtb(xc)
         r.fill = XbcFillUnit(xc, r.storage, r.xbtb, r.stats)
         r.promoter = Promoter(xc, r.storage, r.xbtb, r.stats)
+        r.max_xb = xc.max_xb_uops
 
-        while r.si < len(r.steps):
-            r.stats.cycles += 1
-            r.flow.drain()
+        stats = r.stats
+        flow = r.flow
+        width = flow.renamer_width
+        n_steps = r.n_steps
+        depth = flow.depth
+        max_xb = r.max_xb
+        while r.si < n_steps:
+            stats.cycles += 1
+            # inline flow.drain(): one renamer cycle
+            occ = flow.occupancy
+            taken = occ if occ < width else width
+            occ -= taken
+            flow.occupancy = occ
+            stats.retired_uops += taken
             if r.delivery:
+                deficit = max_xb - (depth - occ)
+                if deficit > 0:
+                    # Queue lacks room for even one XB: nothing can be
+                    # fetched until the renamer drains `deficit` more
+                    # uops.  Those cycles are pure full-width drains —
+                    # fast-forward them in one step (cycle-exact).
+                    stats.delivery_cycles += 1
+                    extra = (deficit + width - 1) // width - 1
+                    if extra > 0 and occ >= extra * width:
+                        stats.cycles += extra
+                        stats.retired_uops += extra * width
+                        flow.occupancy = occ - extra * width
+                        stats.delivery_cycles += extra
+                    continue
                 self._delivery_cycle(r)
             else:
                 self._build_cycle(r)
@@ -167,19 +229,29 @@ class XbcFrontend(FrontendModel):
     # ------------------------------------------------------------------
 
     def _delivery_cycle(self, r: _Run) -> None:
+        """One delivery-mode cycle.
+
+        This method IS the simulator's hot loop: transition resolution,
+        the data-array access under bank arbitration (the former
+        ``_execute_fetch``), and step advancement are fused inline —
+        at ~1.3 fetch-unit accesses per cycle the call dispatch alone
+        otherwise dominates the profile.
+        """
         stats = r.stats
         xc = self.xbc_config
         stats.delivery_cycles += 1
-        if not r.flow.can_accept(xc.max_xb_uops):
-            return
+        flow = r.flow
 
+        storage = r.storage
+        set_versions = storage.set_versions
+        set_mask = storage._set_mask
         banks_used = 0
         delivered_any = False
         slots = xc.xbs_per_cycle
 
         unit = r.pending
         r.pending = None
-        while slots > 0 and r.si < len(r.steps):
+        while slots > 0 and r.si < r.n_steps:
             if unit is None:
                 if r.resolved is not None:
                     tag, unit = r.resolved
@@ -196,20 +268,182 @@ class XbcFrontend(FrontendModel):
                 if tag == "stall":
                     r.resolved = ("unit", unit)
                     break
-            status, banks_used = self._execute_fetch(r, unit, banks_used)
-            if status == "miss":
+
+            # ---- data-array access for one unit, bank-arbitrated ----
+            if not unit.counted:
+                stats.structure_lookups += 1
+                unit.counted = True
+
+            version = set_versions[(unit.xb_ip >> 1) & set_mask]
+            mapping = unit.cached_map
+            if mapping is None or unit.cached_version != version:
+                ptr = unit.source_ptr
+                if ptr is not None:
+                    key = (version, unit.mask, unit.offset)
+                    if (
+                        ptr.cache_key == key
+                        and ptr.cache_rev is unit.rev_expected
+                    ):
+                        mapping = ptr.cache_map
+                    else:
+                        mapping = storage.probe(
+                            unit.xb_ip, unit.mask, unit.offset,
+                            unit.rev_expected,
+                        )
+                        if mapping is not None:
+                            ptr.cache_key = key
+                            ptr.cache_rev = unit.rev_expected
+                            ptr.cache_map = mapping
+                else:
+                    # Pointer-less units (combined XBs): run-level memo.
+                    mkey = (
+                        unit.xb_ip, unit.mask, unit.offset,
+                        id(unit.rev_expected),
+                    )
+                    hit = r.probe_memo.get(mkey)
+                    if hit is not None and hit[0] == version:
+                        mapping = hit[1]
+                    else:
+                        mapping = storage.probe(
+                            unit.xb_ip, unit.mask, unit.offset,
+                            unit.rev_expected,
+                        )
+                        if mapping is not None:
+                            r.probe_memo[mkey] = (version, mapping)
+                if mapping is not None:
+                    unit.cached_map = mapping
+                    unit.cached_version = version
+                    bits = 0
+                    clean = True
+                    for slot in mapping.values():
+                        bit = 1 << slot[0]
+                        if bits & bit:
+                            clean = False
+                        bits |= bit
+                    unit.cached_bits = bits
+                    unit.cached_clean = clean
+
+            if mapping is None:
+                if xc.enable_set_search:
+                    stats.bump("set_searches")
+                    repaired = storage.set_search(
+                        unit.xb_ip, unit.offset, unit.rev_expected
+                    )
+                    if repaired is not None:
+                        mask, _mapping = repaired
+                        unit.mask = mask
+                        if unit.source_ptr is not None:
+                            unit.source_ptr.mask = mask
+                        stats.bump("set_search_hits")
+                        stats.add_penalty("set_search", 1)
+                        r.pending = unit  # retry next cycle
+                        break
                 self._abort_unit(r, unit)
                 self._switch_to_build(r)
                 break
-            if status in ("retry", "deferred"):
-                r.pending = unit
-                break
+            if not unit.hit_counted:
+                stats.structure_hits += 1
+                unit.hit_counted = True
+
+            # Fast path: the mapping's banks are pairwise distinct and
+            # none overlaps this cycle's fetches, so the whole mapping
+            # is fetched — one AND replaces the arbitration scan.  (The
+            # cached mapping always covers exactly the orders the
+            # unit's current offset needs.)
+            bits = unit.cached_bits
+            if unit.cached_clean and not banks_used & bits:
+                delivered = unit.offset
+                banks_used |= bits
+                # inline storage.touch(): LRU-refresh the fetched lines
+                storage._clock += 1
+                stamp = storage._clock
+                set_lines = storage._sets[(unit.xb_ip >> 1) & set_mask]
+                for bank, way in mapping.values():
+                    line = set_lines[bank][way]
+                    if line is not None:
+                        line.stamp = stamp
+            else:
+                line_uops = xc.line_uops
+                needed = (unit.offset + line_uops - 1) // line_uops
+                fetched: dict = {}
+                stop_order = 0  # orders [stop_order, needed) were fetched
+                for order in range(needed - 1, -1, -1):
+                    slot = mapping[order]
+                    bit = 1 << slot[0]
+                    if banks_used & bit:
+                        stop_order = order + 1
+                        break
+                    fetched[order] = slot
+                    banks_used |= bit
+                else:
+                    stop_order = 0
+
+                if not fetched:  # deferred: retry next cycle
+                    self._note_conflict(r, unit, mapping, banks_used)
+                    r.pending = unit
+                    break
+
+                delivered = unit.offset - stop_order * line_uops
+                storage.touch(storage.index_of(unit.xb_ip), fetched)
+
+                if stop_order > 0:  # partial: the rest next cycle
+                    stats.uops_from_structure += delivered
+                    flow.occupancy += delivered
+                    unit.delivered += delivered
+                    unit.offset = stop_order * line_uops
+                    unit.rev_expected = unit.rev_expected[: unit.offset]
+                    # Keep the cached-mapping invariant: exactly the
+                    # orders the reduced offset needs, matching bits.
+                    trimmed = {o: mapping[o] for o in range(stop_order)}
+                    tbits = 0
+                    tclean = True
+                    for slot in trimmed.values():
+                        bit = 1 << slot[0]
+                        if tbits & bit:
+                            tclean = False
+                        tbits |= bit
+                    unit.cached_map = trimmed
+                    unit.cached_bits = tbits
+                    unit.cached_clean = tclean
+                    self._note_conflict(r, unit, mapping, banks_used)
+                    delivered_any = True
+                    r.pending = unit
+                    break
+
+            stats.uops_from_structure += delivered
+            flow.occupancy += delivered  # inline flow.push()
+            unit.delivered += delivered
             delivered_any = True
-            if status == "partial":
-                r.pending = unit
-                break
-            # status == "done"
-            self._advance_after(r, unit)
+
+            # ---- done: commit the unit's step progress ----
+            # (_advance_after and xbtb.lookup, inlined)
+            r.a_done = False
+            r.resolved = None
+            r.link_info = (None, False)
+            r.xibtb_source = None
+            r.last_in_build = False
+            r.last_mask = unit.mask
+            adv = unit.advance_steps
+            if adv == 0:
+                r.consumed += unit.delivered
+                ip = unit.xb_ip
+            else:
+                steps = r.steps
+                si = r.si
+                for _ in range(adv):
+                    r.last_taken = steps[si].taken
+                    si += 1
+                r.si = si
+                r.consumed = 0
+                ip = steps[si - 1].end_ip
+            xbtb = r.xbtb
+            xbtb.lookups += 1
+            entry = xbtb._sets[(ip >> 1) & xbtb._set_mask].get(ip)
+            if entry is not None:
+                xbtb.hits += 1
+                xbtb._clock += 1
+                entry.stamp = xbtb._clock
+            r.cur_entry = entry
             unit = None
             slots -= 1
         if delivered_any:
@@ -261,29 +495,106 @@ class XbcFrontend(FrontendModel):
         ("build", None).
         """
         step = r.steps[r.si]
-        remaining = list(step.uops[r.consumed:])
+        if r.consumed:
+            remaining, rev = self._tail_of(r, step, r.consumed)
+        else:
+            remaining, rev = step.uops, step.rev
         entry = r.cur_entry
         if entry is None:
             return ("build", None)
 
-        ptr, mispredict = self._transition(r, entry, step, remaining, in_build=False)
-        shape = self._validate_ptr(ptr, step, remaining)
+        # The two transition kinds that dominate every trace — plain
+        # fall-through and non-promoted conditionals — are handled
+        # inline; everything else goes through the general resolver.
+        kind = entry.end_kind
+        mispredict: Optional[str] = None
+        if kind is None:
+            r.a_done = True
+            r.link_info = (entry, False)
+            ptr = entry.nt_ptr
+        elif kind is InstrKind.COND_BRANCH and entry.promoted is None:
+            r.a_done = True
+            actual = r.last_taken
+            r.link_info = (entry, actual)
+            if not r.last_in_build:
+                stats = r.stats
+                stats.cond_predictions += 1
+                if not r.gshare.update(entry.xb_ip, actual):
+                    stats.cond_mispredicts += 1
+                    mispredict = "cond"
+            # promoter.on_outcome for a non-promoted conditional, inline
+            bias = entry.bias
+            value = bias.value
+            if actual:
+                if value < BIAS_MAX:
+                    value = bias.value = value + 1
+            else:
+                if value > 0:
+                    value = bias.value = value - 1
+            if self.xbc_config.enable_promotion and (
+                value <= PROMOTE_LOW or value >= PROMOTE_HIGH
+            ):
+                r.promoter._try_promote(entry)
+            ptr = entry.taken_ptr if actual else entry.nt_ptr
+        else:
+            ptr, mispredict = self._transition(
+                r, entry, step, remaining, in_build=False
+            )
+
+        # _validate_ptr, inline
+        shape = None
+        if ptr is not None:
+            rem = len(remaining)
+            if ptr.xb_ip == step.end_ip and ptr.offset == rem:
+                shape = "full"
+            elif (
+                0 < ptr.offset < rem
+                and uop_uid_ip(remaining[ptr.offset - 1]) == ptr.xb_ip
+                and uop_uid_ip(remaining[ptr.offset]) != ptr.xb_ip
+            ):
+                shape = "prefix"
         if mispredict is not None:
             r.stats.add_penalty("mispredict", self.config.mispredict_penalty)
             if shape is None:
                 return ("build", None)
-            return ("stall", self._make_unit(r, ptr, step, remaining, shape))
+            return ("stall", self._make_unit(r, ptr, step, remaining, shape, rev))
         if shape is None:
             return ("build", None)
-        unit = self._make_unit(r, ptr, step, remaining, shape)
+        unit = self._make_unit(r, ptr, step, remaining, shape, rev)
         return ("unit", unit)
+
+    @staticmethod
+    def _tail_of(r: _Run, step: XbStep, consumed: int):
+        """Memoized (tail, reversed tail) of steps split by *consumed*.
+
+        Returning the SAME tuple objects for every occurrence of a
+        (static chunk, consumed) pair keeps the pointer-level probe
+        memo's identity compare effective on split-chain tails.
+        """
+        key = (id(step.uops), consumed)
+        cached = r.tails.get(key)
+        if cached is None:
+            tail = step.uops[consumed:]
+            cached = (tail, tail[::-1])
+            r.tails[key] = cached
+        return cached
+
+    @staticmethod
+    def _prefix_rev_of(r: _Run, seq, offset: int):
+        """Memoized ``seq[:offset][::-1]`` (*seq* must be run-lifetime)."""
+        key = (id(seq), offset)
+        out = r.rev_memo.get(key)
+        if out is None:
+            out = seq[:offset][::-1]
+            r.rev_memo[key] = out
+        return out
 
     def _transition(
         self,
         r: _Run,
         entry: XbtbEntry,
         step: XbStep,
-        remaining: List[int],
+        remaining: Sequence[int],
         in_build: bool,
     ) -> Tuple[Optional[XbPointer], Optional[str]]:
         """Once-per-transition bookkeeping; returns (candidate, mispredict).
@@ -381,7 +692,7 @@ class XbcFrontend(FrontendModel):
         self,
         r: _Run,
         payload: Tuple[int, int],
-        rev_expected: Optional[List[int]] = None,
+        rev_expected: Optional[Sequence[int]] = None,
     ) -> Optional[XbPointer]:
         """Resolve a (xb_ip, offset) payload through the target's entry.
 
@@ -390,34 +701,43 @@ class XbcFrontend(FrontendModel):
         several variants with different prefixes (§3.3).
         """
         xb_ip, offset = payload
+        key = (xb_ip, offset, id(rev_expected))
+        storage = r.storage
+        version = storage.set_versions[(xb_ip >> 1) & storage._set_mask]
+        hit = r.payload_memo.get(key)
+        if hit is not None and hit[0] == version:
+            mask = hit[1]
+            return None if mask is None else XbPointer(xb_ip, mask, offset)
+        result: Optional[int] = None
         target = r.xbtb.peek(xb_ip)
-        if target is None:
-            return None
-        for variant in target.valid_variants(r.storage):
-            if variant.length < offset:
-                continue
-            # Locate through the variant's line references: dynamic
-            # placement may have moved lines, leaving the mask stale.
-            mapping = variant.locate(r.storage, xb_ip)
-            if mapping is None:
-                continue
-            mask = 0
-            for bank, _way in mapping.values():
-                mask |= 1 << bank
-            variant.mask = mask  # heal the record while we are here
-            if rev_expected is not None and r.storage.probe(
-                xb_ip, mask, offset, rev_expected
-            ) is None:
-                continue
-            return XbPointer(xb_ip, mask, offset)
-        return None
+        if target is not None:
+            for variant in target.valid_variants(r.storage):
+                if variant.length < offset:
+                    continue
+                # Locate through the variant's line references: dynamic
+                # placement may have moved lines, leaving the mask stale.
+                mapping = variant.locate(r.storage, xb_ip)
+                if mapping is None:
+                    continue
+                mask = 0
+                for bank, _way in mapping.values():
+                    mask |= 1 << bank
+                variant.mask = mask  # heal the record while we are here
+                if rev_expected is not None and r.storage.probe(
+                    xb_ip, mask, offset, rev_expected
+                ) is None:
+                    continue
+                result = mask
+                break
+        r.payload_memo[key] = (version, result)
+        return None if result is None else XbPointer(xb_ip, result, offset)
 
     def _resolve_payload_ptr(
         self,
         r: _Run,
         payload: Tuple[int, int],
         step: XbStep,
-        remaining: List[int],
+        remaining: Sequence[int],
     ) -> Optional[XbPointer]:
         """Resolve a payload against the actual path, content-checked.
 
@@ -428,13 +748,13 @@ class XbcFrontend(FrontendModel):
         xb_ip, offset = payload
         rem = len(remaining)
         if xb_ip == step.end_ip and offset == rem:
-            expected = remaining[::-1]
+            expected = self._prefix_rev_of(r, remaining, rem)
         elif (
             0 < offset < rem
             and uop_uid_ip(remaining[offset - 1]) == xb_ip
             and uop_uid_ip(remaining[offset]) != xb_ip
         ):
-            expected = remaining[:offset][::-1]
+            expected = self._prefix_rev_of(r, remaining, offset)
         else:
             return None
         return self._pointer_from_payload(r, payload, expected)
@@ -443,7 +763,7 @@ class XbcFrontend(FrontendModel):
         self,
         ptr: Optional[XbPointer],
         step: XbStep,
-        remaining: List[int],
+        remaining: Sequence[int],
     ) -> Optional[str]:
         """Check a candidate pointer against the actual path.
 
@@ -468,27 +788,28 @@ class XbcFrontend(FrontendModel):
         r: _Run,
         ptr: XbPointer,
         step: XbStep,
-        remaining: List[int],
+        remaining: Sequence[int],
         shape: str,
+        rev: Optional[Sequence[int]] = None,
     ) -> FetchUnit:
         """Build the fetch unit, upgrading to a combined XB (§3.8)."""
         if shape == "prefix":
-            covered = remaining[: ptr.offset]
             return FetchUnit(
                 xb_ip=ptr.xb_ip,
                 mask=ptr.mask,
                 offset=ptr.offset,
-                rev_expected=covered[::-1],
+                rev_expected=self._prefix_rev_of(r, remaining, ptr.offset),
                 advance_steps=0,
                 source_ptr=ptr,
             )
 
-        target = r.xbtb.peek(ptr.xb_ip)
+        xbtb = r.xbtb
+        target = xbtb._sets[(ptr.xb_ip >> 1) & xbtb._set_mask].get(ptr.xb_ip)
         if (
             target is not None
             and target.promoted is not None
             and step.taken == target.promoted
-            and r.si + 1 < len(r.steps)
+            and r.si + 1 < r.n_steps
         ):
             nxt = r.steps[r.si + 1]
             if (
@@ -505,12 +826,16 @@ class XbcFrontend(FrontendModel):
                 if variant is not None:
                     r.promoter.on_outcome(target, step.taken)
                     r.stats.bump("comb_fetches")
-                    combined = remaining + list(nxt.uops)
+                    key = (id(remaining), id(nxt.uops), -1)
+                    crev = r.rev_memo.get(key)
+                    if crev is None:
+                        crev = (tuple(remaining) + nxt.uops)[::-1]
+                        r.rev_memo[key] = crev
                     return FetchUnit(
                         xb_ip=target.forward_xb_ip,
                         mask=variant.mask,
                         offset=comb_offset,
-                        rev_expected=combined[::-1],
+                        rev_expected=crev,
                         advance_steps=2,
                     )
 
@@ -518,7 +843,7 @@ class XbcFrontend(FrontendModel):
             xb_ip=ptr.xb_ip,
             mask=ptr.mask,
             offset=ptr.offset,
-            rev_expected=remaining[::-1],
+            rev_expected=rev if rev is not None else remaining[::-1],
             advance_steps=1,
             source_ptr=ptr,
         )
@@ -526,70 +851,6 @@ class XbcFrontend(FrontendModel):
     # ------------------------------------------------------------------
     # storage access
     # ------------------------------------------------------------------
-
-    def _execute_fetch(
-        self, r: _Run, unit: FetchUnit, banks_used: int
-    ) -> Tuple[str, int]:
-        """Access the data array for one unit under bank arbitration."""
-        stats = r.stats
-        storage = r.storage
-        xc = self.xbc_config
-        if not unit.counted:
-            stats.structure_lookups += 1
-            unit.counted = True
-
-        mapping = storage.probe(
-            unit.xb_ip, unit.mask, unit.offset, unit.rev_expected
-        )
-        if mapping is None:
-            if xc.enable_set_search:
-                stats.bump("set_searches")
-                repaired = storage.set_search(
-                    unit.xb_ip, unit.offset, unit.rev_expected
-                )
-                if repaired is not None:
-                    mask, _mapping = repaired
-                    unit.mask = mask
-                    if unit.source_ptr is not None:
-                        unit.source_ptr.mask = mask
-                    stats.bump("set_search_hits")
-                    stats.add_penalty("set_search", 1)
-                    return "retry", banks_used
-            return "miss", banks_used
-        if not unit.hit_counted:
-            stats.structure_hits += 1
-            unit.hit_counted = True
-
-        needed = storage.orders_for(unit.offset)
-        set_idx = storage.index_of(unit.xb_ip)
-        fetched: dict = {}
-        stop_order = 0  # orders [stop_order, needed) were fetched
-        for order in range(needed - 1, -1, -1):
-            bank = mapping[order][0]
-            if (banks_used >> bank) & 1:
-                stop_order = order + 1
-                break
-            fetched[order] = mapping[order]
-            banks_used |= 1 << bank
-        else:
-            stop_order = 0
-
-        if not fetched:
-            self._note_conflict(r, unit, mapping, banks_used)
-            return "deferred", banks_used
-
-        delivered = unit.offset - stop_order * xc.line_uops
-        storage.touch(set_idx, fetched)
-        stats.uops_from_structure += delivered
-        r.flow.push(delivered)
-        unit.delivered += delivered
-
-        if stop_order > 0:
-            unit.offset = stop_order * xc.line_uops
-            unit.rev_expected = unit.rev_expected[: unit.offset]
-            self._note_conflict(r, unit, mapping, banks_used)
-            return "partial", banks_used
-        return "done", banks_used
 
     def _note_conflict(
         self, r: _Run, unit: FetchUnit, mapping: dict, banks_used: int
@@ -607,24 +868,6 @@ class XbcFrontend(FrontendModel):
             set_idx = r.storage.index_of(unit.xb_ip)
             r.storage.relocate_line(set_idx, bank, way, banks_used)
 
-    def _advance_after(self, r: _Run, unit: FetchUnit) -> None:
-        """Commit a completed fetch unit's step progress."""
-        r.a_done = False
-        r.resolved = None
-        r.link_info = (None, False)
-        r.xibtb_source = None
-        r.last_in_build = False
-        r.last_mask = unit.mask
-        if unit.advance_steps == 0:
-            r.consumed += unit.delivered
-            r.cur_entry = r.xbtb.lookup(unit.xb_ip)
-            return
-        for _ in range(unit.advance_steps):
-            r.last_taken = r.steps[r.si].taken
-            r.si += 1
-        r.consumed = 0
-        r.cur_entry = r.xbtb.lookup(r.steps[r.si - 1].end_ip)
-
     # ------------------------------------------------------------------
     # build mode
     # ------------------------------------------------------------------
@@ -634,14 +877,14 @@ class XbcFrontend(FrontendModel):
         stats.build_cycles += 1
         if not r.flow.can_accept(4 * self.config.decode_width):
             return
-        r.pos, cycle = r.engine.fetch_cycle(r.records, r.pos)
+        r.pos, cycle = r.engine.fetch_cycle(r.trace, r.pos)
         stats.uops_from_ic += cycle.uops
         r.flow.push(cycle.uops)
         for cause, cycles in cycle.penalties.items():
             stats.add_penalty(cause, cycles)
 
         finalized = False
-        while r.si < len(r.steps) and r.pos > r.steps[r.si].last_record:
+        while r.si < r.n_steps and r.pos > r.steps[r.si].last_record:
             self._finalize_step(r)
             finalized = True
         # Only switch at an exact step boundary: the build engine may have
@@ -649,7 +892,7 @@ class XbcFrontend(FrontendModel):
         # uops were already supplied from the IC.
         if (
             finalized
-            and r.si < len(r.steps)
+            and r.si < r.n_steps
             and r.pos == r.steps[r.si].first_record
             and self._can_deliver(r)
         ):
@@ -659,7 +902,9 @@ class XbcFrontend(FrontendModel):
 
     def _finalize_step(self, r: _Run) -> None:
         step = r.steps[r.si]
-        occurrence = list(step.uops[r.consumed:])
+        occurrence = (
+            self._tail_of(r, step, r.consumed)[0] if r.consumed else step.uops
+        )
         entry, new_ptr = r.fill.install(
             step.end_ip, step.end_kind, occurrence, avoid_mask=r.last_mask
         )
@@ -699,7 +944,9 @@ class XbcFrontend(FrontendModel):
         if entry is None:
             return False
         step = r.steps[r.si]
-        remaining = list(step.uops[r.consumed:])
+        remaining = (
+            self._tail_of(r, step, r.consumed)[0] if r.consumed else step.uops
+        )
         kind = entry.end_kind
         ptr: Optional[XbPointer]
         if kind is None:
@@ -722,10 +969,12 @@ class XbcFrontend(FrontendModel):
             if shape != "prefix":
                 return False
         assert ptr is not None
-        expected = (
-            remaining[: ptr.offset][::-1] if shape == "prefix"
-            else remaining[::-1]
-        )
+        if shape == "prefix":
+            expected = self._prefix_rev_of(r, remaining, ptr.offset)
+        elif r.consumed == 0:
+            expected = step.rev
+        else:
+            expected = self._tail_of(r, step, r.consumed)[1]
         return (
             r.storage.probe(ptr.xb_ip, ptr.mask, ptr.offset, expected)
             is not None

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.branch.bias import BIAS_MAX, PROMOTE_HIGH, PROMOTE_LOW
 from repro.frontend.metrics import FrontendStats
 from repro.isa.instruction import InstrKind
 from repro.xbc.config import XbcConfig
@@ -49,10 +50,18 @@ class Promoter:
         Called exactly once per dynamic execution of the branch,
         regardless of which mode supplied its uops.
         """
-        entry.bias.update(taken)
-        if entry.promoted is not None:
-            if taken != entry.promoted and entry.bias.misbehaving(
-                entry.promoted, self.config.depromotion_slack
+        bias = entry.bias
+        value = bias.value
+        if taken:
+            if value < BIAS_MAX:
+                value = bias.value = value + 1
+        else:
+            if value > 0:
+                value = bias.value = value - 1
+        promoted = entry.promoted
+        if promoted is not None:
+            if taken != promoted and bias.misbehaving(
+                promoted, self.config.depromotion_slack
             ):
                 entry.demote()
                 self.stats.bump("depromotions")
@@ -61,7 +70,7 @@ class Promoter:
             return
         if entry.end_kind is not InstrKind.COND_BRANCH:
             return
-        if entry.bias.promotable:
+        if value <= PROMOTE_LOW or value >= PROMOTE_HIGH:
             self._try_promote(entry)
 
     # ------------------------------------------------------------------
@@ -75,15 +84,16 @@ class Promoter:
         if e1 is None:
             return
 
-        # Full content of XB0 (its longest live copy).
+        # Full content of XB0 (its longest live copy).  Lengths are
+        # checked first so the usual bail-outs never materialise uops.
         v0 = self._longest_variant(e0)
         if v0 is None:
             return
-        uops0 = v0.read(self.storage, e0.xb_ip)
-        if uops0 is None:
+        len0 = v0.alive_length(self.storage, e0.xb_ip)
+        if len0 is None:
             return
 
-        comb_len = len(uops0) + ptr1.offset
+        comb_len = len0 + ptr1.offset
         if comb_len > self.config.max_xb_uops:
             self.stats.bump("promotions_skipped_length")
             return
@@ -91,8 +101,12 @@ class Promoter:
         v1 = e1.variant_covering(self.storage, ptr1.offset)
         if v1 is None:
             return
+        len1 = v1.alive_length(self.storage, e1.xb_ip)
+        if len1 is None or len1 < ptr1.offset:
+            return
+        uops0 = v0.read(self.storage, e0.xb_ip)
         uops1 = v1.read(self.storage, e1.xb_ip)
-        if uops1 is None or len(uops1) < ptr1.offset:
+        if uops0 is None or uops1 is None:
             return
         comb = uops0 + uops1[len(uops1) - ptr1.offset :]
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.bitutils import iter_bits, log2_exact
+from repro.common.bitutils import log2_exact
 from repro.common.errors import SimulationError
 from repro.xbc.config import XbcConfig
 
@@ -41,15 +41,26 @@ Slot = Tuple[int, int]
 
 
 class XbcLine:
-    """One data-array line: a tag, an order, and reversed uop slots."""
+    """One data-array line: a tag, an order, and reversed uop slots.
 
-    __slots__ = ("tag", "order", "uops", "stamp")
+    Lines carry their own (bank, way) coordinates plus a residency
+    flag, maintained by the storage on every placement, move and
+    eviction.  Identity-based lookups (variant line references) become
+    O(1) attribute reads instead of set scans.
+    """
+
+    __slots__ = ("tag", "order", "uops", "tup", "stamp", "bank", "way",
+                 "resident")
 
     def __init__(self, tag: int, order: int, uops: List[int], stamp: int) -> None:
         self.tag = tag
         self.order = order
         self.uops = uops  # uops[j] = uid at distance order*line_uops + j
+        self.tup = tuple(uops)  # immutable mirror for fast content compares
         self.stamp = stamp
+        self.bank = -1
+        self.way = -1
+        self.resident = False
 
 
 class XbcStorage:
@@ -68,7 +79,24 @@ class XbcStorage:
             [[None] * self.ways for _ in range(self.banks)]
             for _ in range(self.num_sets)
         ]
+        #: per-set directory: tag -> resident lines of that tag.  This
+        #: is the moral equivalent of a real tag array — lookups touch
+        #: only the (few) lines of the probed tag instead of scanning
+        #: every bank and way of the set.
+        self._tags: List[Dict[int, List[XbcLine]]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self._clock = 0
+        #: bumped on every content/placement mutation (place, remove,
+        #: in-place extension, relocation).  Probe results are pure
+        #: functions of (version, arguments); callers may cache them
+        #: across cycles while the version is unchanged.
+        self.version = 0
+        #: per-set mutation counters.  An XB's lines all live in the set
+        #: named by its end-IP, so a probe/variant-validity memo keyed
+        #: by the *set* version survives mutations in other sets — which
+        #: is most of them (build interludes touch a handful of sets).
+        self.set_versions: List[int] = [0] * self.num_sets
         self._deferrals: Dict[Tuple[int, int], int] = {}
         #: exact ``{order: (bank, way)}`` placement of the last
         #: successful insert/extend/add_variant — the fill unit records
@@ -125,36 +153,54 @@ class XbcStorage:
         are verified against it — a mismatch is a miss, which sends the
         frontend down the set-search path.
         """
-        needed = self.orders_for(offset)
-        set_lines = self._sets[self.index_of(xb_ip)]
+        if expected_rev is not None and type(expected_rev) is not tuple:
+            expected_rev = tuple(expected_rev)
+        if mask >> self.banks:
+            return None  # corrupt/stale mask
+        line_uops = self.line_uops
+        needed = (offset + line_uops - 1) // line_uops
+        bucket = self._tags[(xb_ip >> 1) & self._set_mask].get(xb_ip)
+        if bucket is None:
+            return None
         found: Dict[int, Slot] = {}
-        for bank in iter_bits(mask):
-            if bank >= self.banks:
-                return None  # corrupt/stale mask
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is None or line.tag != xb_ip:
+        for line in bucket:
+            order = line.order
+            if order >= needed:
+                continue
+            bank = line.bank
+            if not (mask >> bank) & 1:
+                continue
+            if expected_rev is not None:
+                # content check, inlined from _content_ok
+                base = order * line_uops
+                tup = line.tup
+                avail = len(expected_rev) - base
+                if avail <= 0:
                     continue
-                if line.order >= needed or line.order in found:
+                if avail >= len(tup):
+                    if expected_rev[base : base + len(tup)] != tup:
+                        continue
+                elif tup[:avail] != expected_rev[base : base + avail]:
                     continue
-                if expected_rev is not None and not self._content_ok(
-                    line, expected_rev
-                ):
-                    continue
-                found[line.order] = (bank, way)
+            slot = (bank, line.way)
+            cur = found.get(order)
+            # Duplicate orders (sibling variants sharing a bank) resolve
+            # to the lowest (bank, way), matching the bank/way scan order.
+            if cur is None or slot < cur:
+                found[order] = slot
         if len(found) < needed:
             return None
         return found
 
-    def _content_ok(self, line: XbcLine, expected_rev: Sequence[int]) -> bool:
+    def _content_ok(self, line: XbcLine, expected_rev: Tuple[int, ...]) -> bool:
         base = line.order * self.line_uops
-        span = min(len(line.uops), len(expected_rev) - base)
-        if span <= 0:
+        tup = line.tup
+        avail = len(expected_rev) - base
+        if avail <= 0:
             return False
-        for j in range(span):
-            if line.uops[j] != expected_rev[base + j]:
-                return False
-        return True
+        if avail >= len(tup):
+            return expected_rev[base : base + len(tup)] == tup
+        return tup[:avail] == expected_rev[base : base + avail]
 
     def set_search(
         self,
@@ -167,21 +213,25 @@ class XbcStorage:
         Returns ``(repaired_mask, mapping)`` on success.  The repaired
         mask covers exactly the orders the entry needs.
         """
+        if expected_rev is not None and type(expected_rev) is not tuple:
+            expected_rev = tuple(expected_rev)
         needed = self.orders_for(offset)
-        set_lines = self._sets[self.index_of(xb_ip)]
+        bucket = self._tags[self.index_of(xb_ip)].get(xb_ip)
+        if bucket is None:
+            return None
         found: Dict[int, Slot] = {}
-        for bank in range(self.banks):
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is None or line.tag != xb_ip:
-                    continue
-                if line.order >= needed or line.order in found:
-                    continue
-                if expected_rev is not None and not self._content_ok(
-                    line, expected_rev
-                ):
-                    continue
-                found[line.order] = (bank, way)
+        for line in bucket:
+            order = line.order
+            if order >= needed:
+                continue
+            if expected_rev is not None and not self._content_ok(
+                line, expected_rev
+            ):
+                continue
+            slot = (line.bank, line.way)
+            cur = found.get(order)
+            if cur is None or slot < cur:
+                found[order] = slot
         if len(found) < needed:
             return None
         mask = 0
@@ -191,7 +241,8 @@ class XbcStorage:
 
     def touch(self, set_idx: int, mapping: Dict[int, Slot]) -> None:
         """LRU-refresh the accessed lines."""
-        stamp = self._tick()
+        self._clock += 1
+        stamp = self._clock
         set_lines = self._sets[set_idx]
         for bank, way in mapping.values():
             line = set_lines[bank][way]
@@ -204,23 +255,35 @@ class XbcStorage:
         ``None`` when any line of the variant has been evicted (the
         caller drops the stale variant record).
         """
-        set_lines = self._sets[self.index_of(xb_ip)]
+        if mask >> self.banks:
+            return None
         by_order: Dict[int, XbcLine] = {}
-        for bank in iter_bits(mask):
-            if bank >= self.banks:
-                return None
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is not None and line.tag == xb_ip:
-                    if line.order in by_order:
-                        return None  # ambiguous mask: treat as stale
-                    by_order[line.order] = line
+        for line in self._tags[self.index_of(xb_ip)].get(xb_ip, ()):
+            if (mask >> line.bank) & 1:
+                if line.order in by_order:
+                    return None  # ambiguous mask: treat as stale
+                by_order[line.order] = line
         if not by_order or sorted(by_order) != list(range(len(by_order))):
             return None
         reversed_uops: List[int] = []
         for order in range(len(by_order)):
             reversed_uops.extend(by_order[order].uops)
         return reversed_uops[::-1]
+
+    def variant_length(self, xb_ip: int, mask: int) -> Optional[int]:
+        """Stored length of a variant, with :meth:`read_variant`'s
+        acceptance rules, without materialising the uops."""
+        if mask >> self.banks:
+            return None
+        by_order: Dict[int, int] = {}
+        for line in self._tags[self.index_of(xb_ip)].get(xb_ip, ()):
+            if (mask >> line.bank) & 1:
+                if line.order in by_order:
+                    return None  # ambiguous mask: treat as stale
+                by_order[line.order] = len(line.uops)
+        if not by_order or sorted(by_order) != list(range(len(by_order))):
+            return None
+        return sum(by_order.values())
 
     def read_slots(
         self, xb_ip: int, slots: Dict[int, Slot]
@@ -254,14 +317,11 @@ class XbcStorage:
         keeps variant records valid across moves.  ``None`` when any
         referenced line has been evicted from the set.
         """
-        set_lines = self._sets[self.index_of(xb_ip)]
-        wanted = {id(line): line.order for line in lines}
         found: Dict[int, Slot] = {}
-        for bank in range(self.banks):
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is not None and id(line) in wanted:
-                    found[wanted[id(line)]] = (bank, way)
+        for line in lines:
+            if not line.resident:
+                return None
+            found[line.order] = (line.bank, line.way)
         if len(found) != len(lines):
             return None
         return found
@@ -314,7 +374,7 @@ class XbcStorage:
             way = self._make_room(set_idx, bank, xb_ip)
             chunk = rev[order * self.line_uops : (order + 1) * self.line_uops]
             line = XbcLine(xb_ip, order, chunk, stamp)
-            self._sets[set_idx][bank][way] = line
+            self._place(set_idx, bank, way, line)
             mask |= 1 << bank
             placement[order] = (bank, way)
             lines.append(line)
@@ -362,7 +422,10 @@ class XbcStorage:
         free = self.line_uops - len(top_line.uops)
         take = min(free, len(rev_added))
         top_line.uops.extend(rev_added[:take])
+        top_line.tup = tuple(top_line.uops)
         top_line.stamp = stamp
+        self.version += 1
+        self.set_versions[set_idx] += 1
         rest = rev_added[take:]
 
         placement = dict(mapping)
@@ -384,7 +447,7 @@ class XbcStorage:
             chunk = rest[: self.line_uops]
             rest = rest[self.line_uops :]
             line = XbcLine(xb_ip, order, chunk, stamp)
-            self._sets[set_idx][bank[0]][way] = line
+            self._place(set_idx, bank[0], way, line)
             new_mask |= 1 << bank[0]
             placement[order] = (bank[0], way)
             lines.append(line)
@@ -456,7 +519,7 @@ class XbcStorage:
             way = self._make_room(set_idx, bank, xb_ip)
             chunk = own_rev[i * self.line_uops : (i + 1) * self.line_uops]
             line = XbcLine(xb_ip, order, chunk, stamp)
-            self._sets[set_idx][bank][way] = line
+            self._place(set_idx, bank, way, line)
             mask |= 1 << bank
             placement[order] = (bank, way)
             lines.append(line)
@@ -469,24 +532,46 @@ class XbcStorage:
     # placement internals
     # ------------------------------------------------------------------
 
+    def _place(self, set_idx: int, bank: int, way: int, line: XbcLine) -> None:
+        """Install *line* at (bank, way) and index it under its tag."""
+        self.version += 1
+        self.set_versions[set_idx] += 1
+        self._sets[set_idx][bank][way] = line
+        line.bank = bank
+        line.way = way
+        line.resident = True
+        tags = self._tags[set_idx]
+        bucket = tags.get(line.tag)
+        if bucket is None:
+            tags[line.tag] = [line]
+        else:
+            bucket.append(line)
+
+    def _remove(self, set_idx: int, line: XbcLine) -> None:
+        """Clear *line*'s slot and drop it from the tag directory."""
+        self.version += 1
+        self.set_versions[set_idx] += 1
+        self._sets[set_idx][line.bank][line.way] = None
+        line.resident = False
+        tags = self._tags[set_idx]
+        bucket = tags[line.tag]
+        bucket.remove(line)
+        if not bucket:
+            del tags[line.tag]
+
     def _purge_tag(self, set_idx: int, tag: int) -> None:
         """Drop every line of *tag* in the set (dead-variant cleanup)."""
-        set_lines = self._sets[set_idx]
-        for bank in range(self.banks):
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is not None and line.tag == tag:
-                    set_lines[bank][way] = None
-                    self.evictions += 1
+        bucket = self._tags[set_idx].get(tag)
+        if not bucket:
+            return
+        for line in list(bucket):
+            self._remove(set_idx, line)
+            self.evictions += 1
 
     def _banks_holding_tag(self, set_idx: int, tag: int) -> int:
         mask = 0
-        for bank in range(self.banks):
-            for way in range(self.ways):
-                line = self._sets[set_idx][bank][way]
-                if line is not None and line.tag == tag:
-                    mask |= 1 << bank
-                    break
+        for line in self._tags[set_idx].get(tag, ()):
+            mask |= 1 << line.bank
         return mask
 
     def _choose_banks(
@@ -553,20 +638,14 @@ class XbcStorage:
 
     def _evict(self, set_idx: int, bank: int, way: int) -> None:
         """Evict a line plus the same-tag higher-order lines it strands."""
-        set_lines = self._sets[set_idx]
-        line = set_lines[bank][way]
-        set_lines[bank][way] = None
+        line = self._sets[set_idx][bank][way]
+        self._remove(set_idx, line)
         self.evictions += 1
-        for other_bank in range(self.banks):
-            for other_way in range(self.ways):
-                other = set_lines[other_bank][other_way]
-                if (
-                    other is not None
-                    and other.tag == line.tag
-                    and other.order > line.order
-                ):
-                    set_lines[other_bank][other_way] = None
-                    self.gc_evictions += 1
+        bucket = self._tags[set_idx].get(line.tag)
+        if bucket:
+            for other in [o for o in bucket if o.order > line.order]:
+                self._remove(set_idx, other)
+                self.gc_evictions += 1
 
     def truncate_tag(self, xb_ip: int, keep_mask: int) -> int:
         """Drop every line of *xb_ip* outside the banks in *keep_mask*.
@@ -577,17 +656,16 @@ class XbcStorage:
         (of this and sibling variants) are freed so the new prefix can
         be placed.  Returns lines removed.
         """
-        set_lines = self._sets[self.index_of(xb_ip)]
+        set_idx = self.index_of(xb_ip)
         removed = 0
-        for bank in range(self.banks):
-            if (keep_mask >> bank) & 1:
-                continue
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is not None and line.tag == xb_ip:
-                    set_lines[bank][way] = None
-                    self.evictions += 1
-                    removed += 1
+        bucket = self._tags[set_idx].get(xb_ip)
+        if bucket:
+            for line in list(bucket):
+                if (keep_mask >> line.bank) & 1:
+                    continue
+                self._remove(set_idx, line)
+                self.evictions += 1
+                removed += 1
         return removed
 
     def age_variant(self, xb_ip: int, mask: int) -> None:
@@ -596,14 +674,9 @@ class XbcStorage:
         Used when promotion copies an XB into a combined XB (§3.8): the
         original location becomes the least valuable copy.
         """
-        set_lines = self._sets[self.index_of(xb_ip)]
-        for bank in iter_bits(mask):
-            if bank >= self.banks:
-                continue
-            for way in range(self.ways):
-                line = set_lines[bank][way]
-                if line is not None and line.tag == xb_ip:
-                    line.stamp = 0
+        for line in self._tags[self.index_of(xb_ip)].get(xb_ip, ()):
+            if (mask >> line.bank) & 1:
+                line.stamp = 0
 
     # ------------------------------------------------------------------
     # dynamic placement (§3.10)
@@ -649,8 +722,13 @@ class XbcStorage:
                 if other is not None and other.tag == line.tag:
                     break  # would create same-tag ambiguity in that bank
                 if other is None or other.stamp < line.stamp:
+                    self.version += 1
+                    self.set_versions[set_idx] += 1
                     set_lines[target_bank][target_way] = line
                     set_lines[bank][way] = other
+                    line.bank, line.way = target_bank, target_way
+                    if other is not None:
+                        other.bank, other.way = bank, way
                     self.relocations += 1
                     return target_bank
         return None

@@ -55,6 +55,21 @@ class XbVariant:
             return storage.locate_lines(xb_ip, self.lines)
         return storage.probe(xb_ip, self.mask, self.length)
 
+    def alive_length(self, storage: XbcStorage, xb_ip: int) -> Optional[int]:
+        """Stored length, with :meth:`read`'s staleness rules, without
+        materialising the uops."""
+        lines = self.lines
+        if lines is not None:
+            total = 0
+            order = 0
+            for line in lines:
+                if not line.resident or line.tag != xb_ip or line.order != order:
+                    return None
+                total += len(line.uops)
+                order += 1
+            return total
+        return storage.variant_length(xb_ip, self.mask)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"XbVariant(mask={self.mask:#06b}, length={self.length})"
 
@@ -72,6 +87,9 @@ class XbtbEntry:
         "forward_xb_ip",
         "forward_len1",
         "variants",
+        "stamp",
+        "_vv_version",
+        "_vv_len",
     )
 
     def __init__(self, xb_ip: int, end_kind: Optional[InstrKind]) -> None:
@@ -90,6 +108,12 @@ class XbtbEntry:
         self.forward_len1: int = 0
         #: stored copies of this XB.
         self.variants: List[XbVariant] = []
+        #: LRU stamp (maintained by the owning table).
+        self.stamp = 0
+        #: memo of the last :meth:`valid_variants` pass — valid while
+        #: the storage version and the variant count are unchanged.
+        self._vv_version = -1
+        self._vv_len = -1
 
     # ------------------------------------------------------------------
 
@@ -111,13 +135,27 @@ class XbtbEntry:
         self.forward_len1 = 0
 
     def valid_variants(self, storage: XbcStorage) -> List[XbVariant]:
-        """Variants still fully resident, dropping stale records."""
+        """Variants still fully resident, dropping stale records.
+
+        Memoized on the storage version: variants can only go stale
+        through a storage mutation (which bumps the version), and any
+        variant-list mutation changes the list length, so an unchanged
+        (version, count) pair means the last validation still holds.
+        """
+        variants = self.variants
+        version = storage.set_versions[
+            (self.xb_ip >> 1) & storage._set_mask
+        ]
+        if version == self._vv_version and len(variants) == self._vv_len:
+            return variants
         alive: List[XbVariant] = []
         for variant in self.variants:
-            uops = variant.read(storage, self.xb_ip)
-            if uops is not None and len(uops) >= variant.length:
+            length = variant.alive_length(storage, self.xb_ip)
+            if length is not None and length >= variant.length:
                 alive.append(variant)
         self.variants = alive
+        self._vv_version = version
+        self._vv_len = len(alive)
         return alive
 
     def variant_covering(
@@ -145,7 +183,6 @@ class Xbtb:
         self._sets: List[Dict[int, XbtbEntry]] = [
             {} for _ in range(self.num_sets)
         ]
-        self._stamps: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
         self._clock = 0
         self.lookups = 0
         self.hits = 0
@@ -158,12 +195,11 @@ class Xbtb:
     def lookup(self, xb_ip: int) -> Optional[XbtbEntry]:
         """Entry for the XB ending at *xb_ip*; refreshes LRU on hit."""
         self.lookups += 1
-        index = self._set_for(xb_ip)
-        entry = self._sets[index].get(xb_ip)
+        entry = self._sets[(xb_ip >> 1) & self._set_mask].get(xb_ip)
         if entry is not None:
             self.hits += 1
             self._clock += 1
-            self._stamps[index][xb_ip] = self._clock
+            entry.stamp = self._clock
         return entry
 
     def peek(self, xb_ip: int) -> Optional[XbtbEntry]:
@@ -176,22 +212,20 @@ class Xbtb:
         """Entry for *xb_ip*, allocating (with LRU eviction) if needed."""
         index = self._set_for(xb_ip)
         entries = self._sets[index]
-        stamps = self._stamps[index]
         self._clock += 1
         entry = entries.get(xb_ip)
         if entry is not None:
-            stamps[xb_ip] = self._clock
+            entry.stamp = self._clock
             if entry.end_kind is None and end_kind is not None:
                 entry.end_kind = end_kind
             return entry
         if len(entries) >= self.assoc:
-            victim = min(stamps, key=stamps.get)
+            victim = min(entries, key=lambda ip: entries[ip].stamp)
             del entries[victim]
-            del stamps[victim]
             self.evictions += 1
         entry = XbtbEntry(xb_ip, end_kind)
+        entry.stamp = self._clock
         entries[xb_ip] = entry
-        stamps[xb_ip] = self._clock
         self.allocations += 1
         return entry
 

@@ -1,0 +1,76 @@
+"""Tests for the ``repro bench`` harness and its regression gate."""
+
+import json
+
+from repro.bench import (
+    compare_to_baseline,
+    format_report,
+    run_bench,
+    write_report,
+)
+
+
+def _tiny_report():
+    return run_bench(budget=3_000, quick=True, frontends=["xbc"])
+
+
+class TestRunBench:
+    def test_report_shape(self):
+        report = _tiny_report()
+        assert report["schema"] == 1
+        assert report["quick"] is True
+        assert report["calibration_ops_per_sec"] > 0
+        phases = report["phases"]
+        assert set(phases) == {"trace_gen", "frontend_xbc"}
+        for phase in phases.values():
+            assert phase["seconds"] > 0
+            assert phase["uops_per_sec"] > 0
+            assert phase["uops"] > 0
+
+    def test_write_and_format(self, tmp_path):
+        report = _tiny_report()
+        path = write_report(report, str(tmp_path))
+        assert path.endswith(f"BENCH_{report['rev']}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == report
+        rendered = format_report(report)
+        assert "trace_gen" in rendered
+        assert "frontend_xbc" in rendered
+
+
+class TestRegressionGate:
+    def _fake(self, ups, calibration):
+        return {
+            "calibration_ops_per_sec": calibration,
+            "phases": {"frontend_xbc": {"uops_per_sec": ups}},
+        }
+
+    def test_equal_reports_pass(self):
+        base = self._fake(1000.0, 5e6)
+        assert compare_to_baseline(self._fake(1000.0, 5e6), base) == []
+
+    def test_within_tolerance_passes(self):
+        base = self._fake(1000.0, 5e6)
+        assert compare_to_baseline(self._fake(750.0, 5e6), base) == []
+
+    def test_regression_fails(self):
+        base = self._fake(1000.0, 5e6)
+        failures = compare_to_baseline(self._fake(600.0, 5e6), base)
+        assert len(failures) == 1
+        assert "frontend_xbc" in failures[0]
+
+    def test_calibration_rescales_slow_machine(self):
+        """Half-speed machine at half throughput is NOT a regression."""
+        base = self._fake(1000.0, 5e6)
+        assert compare_to_baseline(self._fake(500.0, 2.5e6), base) == []
+
+    def test_calibration_exposes_real_regression(self):
+        """Same machine speed, halved throughput IS a regression."""
+        base = self._fake(1000.0, 5e6)
+        assert compare_to_baseline(self._fake(500.0, 5e6), base) != []
+
+    def test_missing_phase_fails(self):
+        base = self._fake(1000.0, 5e6)
+        report = {"calibration_ops_per_sec": 5e6, "phases": {}}
+        failures = compare_to_baseline(report, base)
+        assert failures and "missing" in failures[0]

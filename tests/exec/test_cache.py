@@ -121,6 +121,76 @@ class TestTraceStore:
         )
 
 
+class TestTraceCodecV2:
+    """The binary v2 trace codec behind the persistent store."""
+
+    def test_store_writes_v2_magic(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = registry_spec("specint", 0, 5_000)
+        clear_trace_cache()
+        store.store(spec, make_trace(spec))
+        clear_trace_cache()
+        path = os.path.join(store.dir, f"{store.key_for(spec)}.trace")
+        with open(path, "rb") as handle:
+            assert handle.read(13) == b"xbc-trace-v2\n"
+
+    def test_v2_roundtrip_bit_exact(self, tmp_path):
+        from repro.trace.tracefile import load_trace_auto, save_trace_binary
+
+        spec = registry_spec("sysmark", 1, 7_000)
+        clear_trace_cache()
+        generated = make_trace(spec)
+        clear_trace_cache()
+        path = str(tmp_path / "t.trace")
+        save_trace_binary(generated, path)
+        loaded = load_trace_auto(path)
+        assert loaded.name == generated.name
+        assert loaded.suite == generated.suite
+        assert loaded.seed == generated.seed
+        # Columns compare exactly — they ARE the simulation input.
+        assert loaded.ips == generated.ips
+        assert loaded.takens == generated.takens
+        assert loaded.next_ips == generated.next_ips
+        assert loaded.kinds == generated.kinds
+        assert loaded.nuops == generated.nuops
+        assert loaded.snexts == generated.snexts
+        assert loaded.instr_table == generated.instr_table
+
+    def test_backward_compat_reads_v1_text(self, tmp_path):
+        """Cache entries written before the columnar rewrite still load."""
+        from repro.trace.tracefile import load_trace_auto, save_trace
+
+        store = TraceStore(str(tmp_path))
+        spec = registry_spec("games", 2, 5_000)
+        clear_trace_cache()
+        generated = make_trace(spec)
+        clear_trace_cache()
+        # Plant a v1 text entry exactly where the store would look.
+        v1_path = os.path.join(store.dir, f"{store.key_for(spec)}.trace")
+        save_trace(generated, v1_path)
+        with open(v1_path, "r", encoding="ascii") as handle:
+            assert handle.readline().startswith("xbc-trace-v1")
+
+        via_auto = load_trace_auto(v1_path)
+        via_store = store.load(spec)
+        assert via_store is not None
+        for loaded in (via_auto, via_store):
+            assert len(loaded) == len(generated)
+            assert loaded.ips == generated.ips
+            assert loaded.takens == generated.takens
+            assert loaded.next_ips == generated.next_ips
+            assert loaded.instr_table == generated.instr_table
+
+    def test_corrupt_v2_is_a_miss(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = registry_spec("specint", 1, 5_000)
+        path = os.path.join(store.dir, f"{store.key_for(spec)}.trace")
+        with open(path, "wb") as handle:
+            handle.write(b"xbc-trace-v2\nnot-zlib-at-all")
+        assert store.load(spec) is None
+        assert not os.path.exists(path)
+
+
 def test_disk_cache_stats_scans_both_stores(tmp_path):
     root = str(tmp_path)
     ResultCache(root).put("k", {"v": 1})

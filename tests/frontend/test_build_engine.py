@@ -11,7 +11,7 @@ from repro.frontend.config import FrontendConfig
 from repro.frontend.icache import InstructionCache
 from repro.frontend.metrics import FrontendStats
 from repro.isa.instruction import Instruction, InstrKind
-from repro.trace.record import DynInstr
+from repro.trace.record import DynInstr, Trace
 
 
 def alu(ip, size=2, uops=1):
@@ -53,7 +53,7 @@ class TestFetchLimits:
     def test_decode_width_limit(self):
         engine, _ = make_engine(FrontendConfig(decode_width=4))
         records = straight_line(0x1000, 12)
-        pos, cycle = engine.fetch_cycle(records, 0)
+        pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert pos == 4
         assert len(cycle.records) == 4
 
@@ -61,23 +61,23 @@ class TestFetchLimits:
         engine, _ = make_engine(FrontendConfig(decode_width=8))
         # 2-byte instructions from 0x1000: eight fit in the 16-byte window.
         records = straight_line(0x1000, 16)
-        pos, cycle = engine.fetch_cycle(records, 0)
+        pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert pos == 8
 
     def test_unaligned_start_shortens_window(self):
         engine, _ = make_engine(FrontendConfig(decode_width=8))
         records = straight_line(0x100A, 16)
-        pos, cycle = engine.fetch_cycle(records, 0)
+        pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert pos == 3  # 0x100A, 0x100C, 0x100E fit before 0x1010
 
     def test_first_ic_access_misses(self):
         engine, stats = make_engine()
-        records = straight_line(0x1000, 4)
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        trace = Trace(straight_line(0x1000, 4))
+        _pos, cycle = engine.fetch_cycle(trace, 0)
         assert cycle.penalties.get("ic_miss") == engine.config.ic_miss_latency
         assert stats.ic_misses == 1
         # second access to the same line hits
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        _pos, cycle = engine.fetch_cycle(trace, 0)
         assert "ic_miss" not in cycle.penalties
 
 
@@ -95,7 +95,7 @@ class TestBranchHandling:
         # Train the predictor so the branch predicts taken.
         for _ in range(8):
             engine.cond_predictor.update(0x1000, True)
-        pos, cycle = engine.fetch_cycle(records, 0)
+        pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert pos == 1
 
     def test_not_taken_branch_continues(self):
@@ -103,7 +103,7 @@ class TestBranchHandling:
         records = [self._cond_record(False)] + straight_line(0x1002, 4)
         for _ in range(8):
             engine.cond_predictor.update(0x1000, False)
-        pos, cycle = engine.fetch_cycle(records, 0)
+        pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert pos > 1
 
     def test_mispredict_charges_penalty(self):
@@ -111,7 +111,7 @@ class TestBranchHandling:
         for _ in range(8):
             engine.cond_predictor.update(0x1000, False)
         records = [self._cond_record(True)] + straight_line(0x2000, 2)
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        _pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert cycle.penalties.get("mispredict") == engine.config.mispredict_penalty
         assert stats.cond_mispredicts == 1
 
@@ -119,41 +119,45 @@ class TestBranchHandling:
         engine, _ = make_engine()
         jump = Instruction(ip=0x1000, size=2, kind=InstrKind.JUMP,
                            num_uops=1, target=0x2000)
-        records = [rec(jump, taken=True, next_ip=0x2000)]
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        trace = Trace([rec(jump, taken=True, next_ip=0x2000)])
+        _pos, cycle = engine.fetch_cycle(trace, 0)
         assert cycle.penalties.get("btb_miss") == engine.config.btb_miss_penalty
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        _pos, cycle = engine.fetch_cycle(trace, 0)
         assert cycle.penalties.get("redirect") == engine.config.taken_branch_bubble
 
     def test_call_pushes_return_address(self):
         engine, _ = make_engine()
         call = Instruction(ip=0x1000, size=3, kind=InstrKind.CALL,
                            num_uops=2, target=0x2000)
-        engine.fetch_cycle([rec(call, taken=True, next_ip=0x2000)], 0)
+        engine.fetch_cycle(Trace([rec(call, taken=True, next_ip=0x2000)]), 0)
         assert engine.rsb.peek() == 0x1003
 
     def test_return_predicted_by_rsb(self):
         engine, stats = make_engine()
         engine.rsb.push(0x1003)
         ret = Instruction(ip=0x3000, size=1, kind=InstrKind.RETURN, num_uops=2)
-        _pos, cycle = engine.fetch_cycle([rec(ret, taken=True, next_ip=0x1003)], 0)
+        _pos, cycle = engine.fetch_cycle(
+            Trace([rec(ret, taken=True, next_ip=0x1003)]), 0
+        )
         assert stats.return_mispredicts == 0
         assert "mispredict" not in cycle.penalties
 
     def test_return_mispredict_on_empty_stack(self):
         engine, stats = make_engine()
         ret = Instruction(ip=0x3000, size=1, kind=InstrKind.RETURN, num_uops=2)
-        _pos, cycle = engine.fetch_cycle([rec(ret, taken=True, next_ip=0x1003)], 0)
+        _pos, cycle = engine.fetch_cycle(
+            Trace([rec(ret, taken=True, next_ip=0x1003)]), 0
+        )
         assert stats.return_mispredicts == 1
 
     def test_indirect_jump_trains_predictor(self):
         engine, stats = make_engine()
         ind = Instruction(ip=0x1000, size=2, kind=InstrKind.INDIRECT_JUMP,
                           num_uops=1)
-        records = [rec(ind, taken=True, next_ip=0x4000)]
-        engine.fetch_cycle(records, 0)
+        trace = Trace([rec(ind, taken=True, next_ip=0x4000)])
+        engine.fetch_cycle(trace, 0)
         assert stats.indirect_mispredicts == 1  # cold
-        engine.fetch_cycle(records, 0)
+        engine.fetch_cycle(trace, 0)
         assert stats.indirect_mispredicts == 1  # learned
 
 
@@ -161,15 +165,16 @@ class TestUopAccounting:
     def test_cycle_uops_match_records(self):
         engine, _ = make_engine()
         records = straight_line(0x1000, 4)
-        _pos, cycle = engine.fetch_cycle(records, 0)
+        _pos, cycle = engine.fetch_cycle(Trace(records), 0)
         assert cycle.uops == sum(r.instr.num_uops for r in cycle.records)
 
     def test_full_trace_supplied_once(self):
         engine, _ = make_engine()
         records = straight_line(0x1000, 40)
+        trace = Trace(records)
         pos = 0
         total = 0
         while pos < len(records):
-            pos, cycle = engine.fetch_cycle(records, pos)
+            pos, cycle = engine.fetch_cycle(trace, pos)
             total += cycle.uops
         assert total == sum(r.instr.num_uops for r in records)

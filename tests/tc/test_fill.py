@@ -24,7 +24,7 @@ def fill():
 def feed_all(fill, records):
     lines = []
     for record in records:
-        lines.extend(fill.feed(record))
+        lines.extend(fill.feed(record.instr, record.taken))
     return lines
 
 
@@ -89,7 +89,8 @@ class TestEndConditions:
 
 class TestAbandon:
     def test_abandon_discards_pending(self, fill):
-        fill.feed(rec(0x100))
+        record = rec(0x100)
+        fill.feed(record.instr, record.taken)
         fill.abandon()
         assert fill.pending_instructions == 0
         lines = feed_all(fill, [rec(0x200, InstrKind.RETURN, taken=True)])
