@@ -20,11 +20,14 @@ from repro.bench.harness import (
     run_bench,
     write_report,
 )
+from repro.bench.serve import format_serve_bench, run_serve_bench
 
 __all__ = [
     "REGRESSION_TOLERANCE",
     "compare_to_baseline",
     "format_report",
+    "format_serve_bench",
     "run_bench",
+    "run_serve_bench",
     "write_report",
 ]

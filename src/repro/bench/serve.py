@@ -1,0 +1,93 @@
+"""Serve-mode latency benchmark (``repro bench --serve``).
+
+Measures the service overhead a sweep client actually experiences:
+a :class:`~repro.serve.app.BackgroundServer` is started on an
+ephemeral port, one cold request pays the real simulation, then a
+stream of identical requests measures the warm path (submit →
+memoized/cached answer → result fetched).  Reported latencies are
+end-to-end over HTTP on localhost, so they include request parsing,
+scheduling and JSON encoding — the things ``repro bench``'s in-process
+phases cannot see.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+def run_serve_bench(
+    requests: int = 32,
+    length: int = 20_000,
+    total_uops: int = 2048,
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the latency benchmark; returns the ``serve`` report section."""
+    from repro.exec.engine import ExecPolicy
+    from repro.serve.app import BackgroundServer, build_app
+    from repro.serve.client import ServeClient
+
+    policy = ExecPolicy(
+        workers=workers, use_cache=True, cache_dir=cache_dir, progress=False
+    )
+    app = build_app(policy=policy, port=0, queue_size=max(64, requests * 2))
+    server = BackgroundServer(app)
+    base_url = server.start()
+    try:
+        client = ServeClient(base_url, timeout=120.0)
+        request = {
+            "kind": "sim", "frontend": "xbc", "suite": "specint",
+            "index": 0, "length": length, "total_uops": total_uops,
+        }
+
+        t0 = time.perf_counter()
+        acknowledgement = client.submit(request)
+        document = client.wait(acknowledgement["job_id"], timeout=120.0)
+        cold_seconds = time.perf_counter() - t0
+        if document["status"] != "done":
+            raise RuntimeError(
+                f"cold serve request failed: {document.get('error')}"
+            )
+
+        warm: List[float] = []
+        for _ in range(requests):
+            t0 = time.perf_counter()
+            acknowledgement = client.submit(request)
+            document = client.wait(acknowledgement["job_id"], timeout=120.0)
+            warm.append(time.perf_counter() - t0)
+        warm.sort()
+
+        def quantile(q: float) -> float:
+            rank = min(len(warm) - 1, max(0, round(q * (len(warm) - 1))))
+            return warm[rank]
+
+        metrics = client.metrics()
+        return {
+            "requests": requests,
+            "length_uops": length,
+            "total_uops": total_uops,
+            "cold_ms": round(cold_seconds * 1000.0, 3),
+            "warm_p50_ms": round(quantile(0.50) * 1000.0, 3),
+            "warm_p95_ms": round(quantile(0.95) * 1000.0, 3),
+            "warm_mean_ms": round(
+                sum(warm) / len(warm) * 1000.0, 3
+            ),
+            "warm_requests_per_sec": round(
+                len(warm) / sum(warm), 1
+            ),
+            "server_jobs": metrics["jobs"],
+        }
+    finally:
+        server.stop()
+
+
+def format_serve_bench(section: Dict[str, object]) -> str:
+    """Human-readable rendering for the CLI."""
+    return (
+        f"  serve            cold {section['cold_ms']:.1f} ms, "
+        f"warm p50 {section['warm_p50_ms']:.1f} ms / "
+        f"p95 {section['warm_p95_ms']:.1f} ms "
+        f"({section['warm_requests_per_sec']:,.0f} req/s over "
+        f"{section['requests']} warm requests)"
+    )

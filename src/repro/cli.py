@@ -7,7 +7,10 @@ Commands map one-to-one onto the paper's artifacts:
 - ``ablate`` — §3 design-choice ablations;
 - ``run`` — simulate one frontend on one synthetic trace;
 - ``bench`` — time the simulation core, write a ``BENCH_<rev>.json``;
-- ``info`` — describe the registry workloads.
+- ``info`` — describe the registry workloads (``--json`` for scripts);
+- ``serve`` / ``submit`` / ``jobs`` — the long-running simulation
+  service and its client (see ``docs/serving.md``);
+- ``cache`` — manage the persistent trace/result cache (``prune``).
 """
 
 from __future__ import annotations
@@ -17,8 +20,8 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.common.errors import ReproError
-from repro.exec.cache import default_cache_dir, disk_cache_stats
+from repro.common.errors import ConfigError, ReproError
+from repro.exec.cache import default_cache_dir, disk_cache_stats, prune_cache
 from repro.exec.engine import ExecPolicy
 from repro.frontend.config import FrontendConfig
 from repro.harness.registry import (
@@ -228,6 +231,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", metavar="FILE", default=None,
                    help="compare against a baseline report; exit 1 on "
                    ">30%% calibrated-throughput regression")
+    p.add_argument("--serve", action="store_true",
+                   help="also measure serve-mode request latency "
+                   "(cold + warm p50/p95 over HTTP)")
 
     p = sub.add_parser("analyze", help="workload analysis: redundancy, "
                        "multi-entry XBs, reuse distances")
@@ -260,6 +266,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache root to report statistics for "
         "(default ~/.cache/repro or $REPRO_CACHE_DIR)",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the report as machine-readable JSON",
+    )
+
+    p = sub.add_parser(
+        "cache", help="manage the persistent trace/result cache"
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cp = cache_sub.add_parser(
+        "prune", help="remove old entries / shrink the cache to a budget"
+    )
+    cp.add_argument(
+        "--max-age", metavar="AGE", default=None,
+        help="drop entries older than AGE (e.g. 30s, 12h, 7d; "
+        "plain numbers are seconds)",
+    )
+    cp.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="evict oldest entries until the cache fits SIZE "
+        "(e.g. 200M, 2G; plain numbers are bytes)",
+    )
+    cp.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache root (default ~/.cache/repro or $REPRO_CACHE_DIR)",
+    )
+    cp.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting anything",
+    )
+
+    p = sub.add_parser(
+        "serve", help="run the long-lived simulation service "
+        "(see docs/serving.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default 8177; 0 picks a free port)")
+    p.add_argument("--queue-size", type=int, default=64, metavar="N",
+                   help="bounded intake queue; beyond it submits get 429 "
+                   "(default 64)")
+    p.add_argument("--batch-max", type=int, default=8, metavar="N",
+                   help="max jobs gathered into one engine run (default 8)")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="how long to gather a batch (default 0.05)")
+    _add_exec_args(p)
+
+    p = sub.add_parser(
+        "submit", help="submit one job to a running server "
+        "(falls back to inline execution)"
+    )
+    p.add_argument("what", choices=FRONTEND_KINDS + ("blockstats",),
+                   help="frontend kind to simulate, or 'blockstats'")
+    p.add_argument("--suite", choices=SUITE_NAMES, default="specint")
+    p.add_argument("--index", type=int, default=0)
+    p.add_argument("--length", type=int, default=150_000,
+                   help="trace length in uops (default 150000)")
+    p.add_argument("--size", type=int, default=8192,
+                   help="structure uop budget (default 8192)")
+    p.add_argument("--assoc", type=int, default=0,
+                   help="associativity shorthand (0 = frontend default)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="structure-config override (repeatable)")
+    p.add_argument("--server", metavar="URL", default=None,
+                   help="server base URL (default $REPRO_SERVER or "
+                   "http://127.0.0.1:8177)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="return the submission ack instead of waiting")
+    p.add_argument("--follow", action="store_true",
+                   help="print the NDJSON event stream while waiting")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait for completion (default 300)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full job document as JSON")
+
+    p = sub.add_parser(
+        "jobs", help="list jobs on a running server (or its metrics)"
+    )
+    p.add_argument("--server", metavar="URL", default=None,
+                   help="server base URL (default $REPRO_SERVER or "
+                   "http://127.0.0.1:8177)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print /metrics instead of the job list")
+    p.add_argument("--health", action="store_true",
+                   help="print /healthz instead of the job list")
+    p.add_argument("--json", action="store_true",
+                   help="emit raw JSON instead of a table")
 
     return parser
 
@@ -375,7 +471,18 @@ def _dispatch(args: argparse.Namespace) -> int:
             frontends=args.frontend,
             profile_path=args.profile,
         )
+        serve_line = None
+        if args.serve:
+            from repro.bench.serve import format_serve_bench, run_serve_bench
+
+            report["serve"] = run_serve_bench(
+                requests=8 if args.quick else 32,
+                length=min(args.budget, 20_000),
+            )
+            serve_line = format_serve_bench(report["serve"])
         print(format_report(report))
+        if serve_line:
+            print(serve_line)
         path = write_report(report, args.out)
         print(f"[report written to {path}]")
         if args.profile:
@@ -392,9 +499,22 @@ def _dispatch(args: argparse.Namespace) -> int:
                 return 1
             print(f"[no regression vs {args.baseline}]")
     elif args.command == "info":
+        import json as _json
+
+        from repro.sysinfo import info_data
+
+        descriptions = []
         for spec in _registry(args):
             trace = make_trace(spec)
-            print(trace.describe())
+            descriptions.append({"name": spec.name,
+                                 "describe": trace.describe()})
+        if args.json:
+            document = info_data(cache_root=args.cache_dir,
+                                 traces=descriptions)
+            print(_json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        for item in descriptions:
+            print(item["describe"])
         print()
         print(f"[trace cache] {trace_cache_stats().describe()}")
         root = args.cache_dir or default_cache_dir()
@@ -411,39 +531,275 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"[persistent cache] {root}: empty (no cache directory)")
         print()
         _print_perf_info()
+    elif args.command == "cache":
+        return _dispatch_cache(args)
+    elif args.command == "serve":
+        return _dispatch_serve(args)
+    elif args.command == "submit":
+        return _dispatch_submit(args)
+    elif args.command == "jobs":
+        return _dispatch_jobs(args)
+    return 0
+
+
+def _parse_age(text: str) -> float:
+    """``30s`` / ``12h`` / ``7d`` / plain seconds -> seconds."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    text = text.strip().lower()
+    factor = units.get(text[-1:], None)
+    digits = text[:-1] if factor else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise ConfigError(
+            f"bad age {text!r}; expected e.g. 45s, 30m, 12h, 7d"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"age must be >= 0, got {text!r}")
+    return value * (factor or 1.0)
+
+
+def _parse_size_bytes(text: str) -> int:
+    """``200M`` / ``2G`` / plain bytes -> bytes."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30, "t": 1 << 40}
+    text = text.strip().lower()
+    factor = units.get(text[-1:], None)
+    digits = text[:-1] if factor else text
+    try:
+        value = float(digits)
+    except ValueError:
+        raise ConfigError(
+            f"bad size {text!r}; expected e.g. 500K, 200M, 2G"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"size must be >= 0, got {text!r}")
+    return int(value * (factor or 1))
+
+
+def _parse_override(fragment: str):
+    """``name=value`` -> (name, typed value) for --param overrides."""
+    name, eq, raw = fragment.partition("=")
+    if not eq or not name:
+        raise ConfigError(
+            f"bad --param {fragment!r}; expected NAME=VALUE"
+        )
+    lowered = raw.strip().lower()
+    if lowered in ("true", "false"):
+        return name.strip(), lowered == "true"
+    try:
+        return name.strip(), int(raw)
+    except ValueError:
+        pass
+    try:
+        return name.strip(), float(raw)
+    except ValueError:
+        return name.strip(), raw
+
+
+def _dispatch_cache(args: argparse.Namespace) -> int:
+    max_age = _parse_age(args.max_age) if args.max_age else None
+    max_bytes = (
+        _parse_size_bytes(args.max_bytes) if args.max_bytes else None
+    )
+    if max_age is None and max_bytes is None:
+        print(
+            "error: cache prune needs --max-age and/or --max-bytes",
+            file=sys.stderr,
+        )
+        return 1
+    root = args.cache_dir or default_cache_dir()
+    reports = prune_cache(
+        root, max_age=max_age, max_bytes=max_bytes, dry_run=args.dry_run
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for name in ("traces", "results", "manifests"):
+        report = reports[name]
+        print(
+            f"[{name}] {verb} {report.removed_entries} entries "
+            f"({report.removed_bytes} bytes), kept {report.kept_entries} "
+            f"({report.kept_bytes} bytes)"
+        )
+    total = reports["total"]
+    print(f"[total] {verb} {total.removed_entries} entries "
+          f"({total.removed_bytes} bytes) under {root}")
+    return 0
+
+
+def _dispatch_serve(args: argparse.Namespace) -> int:
+    from repro.serve.app import DEFAULT_PORT, build_app, run_server
+
+    policy = ExecPolicy(
+        workers=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout=args.job_timeout,
+        progress=False,
+    )
+    app = build_app(
+        policy=policy,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        queue_size=args.queue_size,
+        batch_max=args.batch_max,
+        batch_window=args.batch_window,
+    )
+    return run_server(app)
+
+
+def _submit_request(args: argparse.Namespace) -> dict:
+    if args.what == "blockstats":
+        return {
+            "kind": "blockstats",
+            "suite": args.suite,
+            "index": args.index,
+            "length": args.length,
+        }
+    request = {
+        "kind": "sim",
+        "frontend": args.what,
+        "suite": args.suite,
+        "index": args.index,
+        "length": args.length,
+        "total_uops": args.size,
+        "assoc": args.assoc,
+    }
+    if args.param:
+        overrides = dict(_parse_override(p) for p in args.param)
+        request["config"] = overrides
+    return request
+
+
+def _dispatch_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient, submit_or_inline
+
+    request = _submit_request(args)
+    if args.follow and not args.no_wait:
+        client = ServeClient(args.server, timeout=min(args.timeout, 30.0))
+        if client.is_up():
+            acknowledgement = client.submit(request)
+            job_id = acknowledgement["job_id"]
+            print(f"[submit] {acknowledgement['disposition']} job {job_id}",
+                  file=sys.stderr)
+            for event in client.events(job_id, timeout=args.timeout):
+                print(_json.dumps(event, sort_keys=True))
+            document = client.wait(job_id, timeout=args.timeout)
+            document["disposition"] = acknowledgement.get("disposition")
+            via = "server"
+        else:
+            document, via = submit_or_inline(
+                request, server=args.server, wait=True,
+                timeout=args.timeout,
+            )
+    else:
+        document, via = submit_or_inline(
+            request, server=args.server, wait=not args.no_wait,
+            timeout=args.timeout,
+        )
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0 if document.get("status") in ("done", "queued", "running") \
+            else 1
+    return _print_submit_result(args, document, via)
+
+
+def _print_submit_result(args, document: dict, via: str) -> int:
+    status = document.get("status")
+    job_id = document.get("job_id", "?")
+    print(f"[submit] via {via}: job {job_id} {status}"
+          + (f" ({document['disposition']})"
+             if document.get("disposition") else ""))
+    if args.no_wait and via == "server":
+        print(f"[submit] poll with: repro jobs --server or "
+              f"GET {document.get('url', '/jobs/' + str(job_id))}")
+        return 0
+    if status != "done":
+        print(f"error: job ended {status}: "
+              f"{document.get('error', 'unknown failure')}",
+              file=sys.stderr)
+        return 1
+    result = document.get("result") or {}
+    if args.what == "blockstats":
+        from repro.exec.job import BlockStatsJob
+
+        stats = BlockStatsJob.decode_result(result)
+        for name, mean in stats.means().items():
+            print(f"  {name:<16} mean {mean:.2f} uops")
+    else:
+        from repro.frontend.metrics import FrontendStats
+
+        print(FrontendStats(**result).summary())
+    if document.get("cached"):
+        print("[submit] served from result cache")
+    return 0
+
+
+def _dispatch_jobs(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.server)
+    if args.health:
+        print(_json.dumps(client.healthz(), indent=2, sort_keys=True))
+        return 0
+    if args.metrics:
+        print(_json.dumps(client.metrics(), indent=2, sort_keys=True))
+        return 0
+    document = client.jobs()
+    if args.json:
+        print(_json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    jobs = document.get("jobs", [])
+    if not jobs:
+        print("(no jobs)")
+        return 0
+    print(f"{'JOB':<26} {'STATUS':<10} {'SUBS':>4} {'CACHED':>6} "
+          f"{'WALL_MS':>9}  PARAMS")
+    for job in jobs:
+        wall = job.get("wall_ms")
+        params = job.get("params", {})
+        brief = ",".join(
+            f"{key}={value}" for key, value in sorted(params.items())
+            if key != "job"
+        )
+        print(
+            f"{job['job_id']:<26} {job['status']:<10} "
+            f"{job.get('submissions', 1):>4} "
+            f"{str(bool(job.get('cached'))):>6} "
+            f"{wall if wall is not None else '-':>9}  "
+            f"{params.get('job', '?')}:{brief}"
+        )
     return 0
 
 
 def _print_perf_info() -> None:
-    """The ``info`` perf section: machine context + last bench report."""
-    import glob
-    import json as _json
-    import platform
+    """The ``info`` perf section: machine context + last bench report.
 
+    Text rendering of the same data ``repro info --json`` exposes under
+    ``perf`` (see :mod:`repro.sysinfo`).
+    """
+    from repro.sysinfo import host_data, latest_bench_report
+
+    host = host_data()
     print(
-        f"[perf] python {platform.python_version()} "
-        f"({platform.python_implementation()}), "
-        f"{os.cpu_count()} cpus, {platform.platform()}"
+        f"[perf] python {host['python']} "
+        f"({host['implementation']}), "
+        f"{host['cpu_count']} cpus, {host['platform']}"
     )
-    reports = []
-    for path in glob.glob("BENCH_*.json"):
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                reports.append((os.path.getmtime(path), path,
-                                _json.load(handle)))
-        except (OSError, ValueError):
-            continue
-    if not reports:
+    report = latest_bench_report()
+    if report is None:
         print("[perf] no BENCH_*.json found (run `repro bench`)")
         return
-    _, path, report = max(reports)
     phases = report.get("phases", {})
     summary = ", ".join(
         f"{name.removeprefix('frontend_')}="
         f"{phase['uops_per_sec']:,.0f} uops/s"
         for name, phase in phases.items()
     )
-    print(f"[perf] last bench {path} @ {report.get('rev', '?')}: {summary}")
+    print(f"[perf] last bench {report['_path']} @ "
+          f"{report.get('rev', '?')}: {summary}")
 
 
 if __name__ == "__main__":  # pragma: no cover

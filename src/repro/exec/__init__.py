@@ -29,11 +29,13 @@ schema.
 
 from repro.exec.cache import (
     DiskCacheStats,
+    PruneReport,
     ResultCache,
     StoreStats,
     TraceStore,
     default_cache_dir,
     disk_cache_stats,
+    prune_cache,
 )
 from repro.exec.engine import (
     ExecPolicy,
@@ -41,6 +43,7 @@ from repro.exec.engine import (
     JobResult,
     JobTimeout,
     execute_jobs,
+    job_key,
 )
 from repro.exec.hashing import CODE_VERSION, stable_hash, versioned_key
 from repro.exec.job import BlockStatsJob, SimJob
@@ -55,6 +58,7 @@ __all__ = [
     "JobRecord",
     "JobResult",
     "JobTimeout",
+    "PruneReport",
     "ResultCache",
     "RunManifest",
     "SimJob",
@@ -63,6 +67,8 @@ __all__ = [
     "default_cache_dir",
     "disk_cache_stats",
     "execute_jobs",
+    "job_key",
+    "prune_cache",
     "stable_hash",
     "versioned_key",
 ]

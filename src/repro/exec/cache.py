@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
@@ -40,11 +41,24 @@ def default_cache_dir() -> str:
 
 
 def _atomic_write(path: str, text: str) -> None:
-    """Write *text* to *path* so readers never observe a partial file."""
+    """Write *text* to *path* so readers never observe a partial file.
+
+    The temp file is removed on *any* failure — including
+    ``KeyboardInterrupt``/cancellation, which is how a serve-mode drain
+    or a per-job timeout can land mid-write — so an interrupted put
+    never leaves a partial entry (visible or temp) behind.
+    """
     tmp = f"{path}.tmp.{os.getpid()}"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
 
 
 @dataclass
@@ -62,6 +76,181 @@ class StoreStats:
             f"entries={self.entries} bytes={self.bytes} "
             f"hits={self.hits} misses={self.misses}"
         )
+
+
+@dataclass
+class PruneReport:
+    """What one prune pass removed and what it left in place."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+
+    def merge(self, other: "PruneReport") -> None:
+        """Fold *other* into this report (for multi-store totals)."""
+        self.removed_entries += other.removed_entries
+        self.removed_bytes += other.removed_bytes
+        self.kept_entries += other.kept_entries
+        self.kept_bytes += other.kept_bytes
+
+    def describe(self) -> str:
+        """One-line human-readable rendering."""
+        return (
+            f"removed {self.removed_entries} entries "
+            f"({self.removed_bytes} bytes), "
+            f"kept {self.kept_entries} ({self.kept_bytes} bytes)"
+        )
+
+
+#: Temp files from an in-progress atomic write are ignored for this
+#: long before a prune treats them as orphaned debris.
+_TMP_GRACE_SECONDS = 15 * 60
+
+
+def _is_tmp(path: str) -> bool:
+    """Whether *path* is an atomic-write temp file (never a valid entry)."""
+    return ".tmp." in os.path.basename(path)
+
+
+def _scan_files(path: str, suffix: str):
+    """``(path, mtime, size)`` for store entries *and* stale temp files.
+
+    A ``*.tmp.<pid>`` file younger than the grace period belongs to a
+    concurrent writer and is skipped; older ones are debris from a
+    killed process and are returned (so prune removes them).
+    """
+    files = []
+    now = time.time()
+    try:
+        with os.scandir(path) as it:
+            for entry in it:
+                if not entry.is_file():
+                    continue
+                is_entry = entry.name.endswith(suffix)
+                is_tmp = ".tmp." in entry.name
+                if not is_entry and not is_tmp:
+                    continue
+                stat = entry.stat()
+                if is_tmp and not is_entry:
+                    if now - stat.st_mtime < _TMP_GRACE_SECONDS:
+                        continue
+                files.append((entry.path, stat.st_mtime, stat.st_size))
+    except OSError:
+        pass
+    return files
+
+
+def _prune_files(
+    files,
+    max_age: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    dry_run: bool = False,
+) -> PruneReport:
+    """Apply age then size limits to *files*, oldest entries first."""
+    report = PruneReport()
+    now = time.time()
+    doomed = []
+    kept = []
+    for item in files:
+        path, mtime, _ = item
+        if _is_tmp(path):
+            doomed.append(item)  # orphaned atomic-write debris
+        elif max_age is not None and now - mtime > max_age:
+            doomed.append(item)
+        else:
+            kept.append(item)
+    if max_bytes is not None:
+        kept.sort(key=lambda item: item[1])  # oldest first
+        total = sum(size for _, _, size in kept)
+        while kept and total > max_bytes:
+            item = kept.pop(0)
+            total -= item[2]
+            doomed.append(item)
+    for path, _, size in doomed:
+        if not dry_run:
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+        report.removed_entries += 1
+        report.removed_bytes += size
+    report.kept_entries = len(kept)
+    report.kept_bytes = sum(size for _, _, size in kept)
+    return report
+
+
+def prune_cache(
+    root: Optional[str] = None,
+    max_age: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    dry_run: bool = False,
+) -> Dict[str, PruneReport]:
+    """Prune a whole cache root: traces, results and run manifests.
+
+    *max_age* (seconds) removes entries older than the cutoff;
+    *max_bytes* then evicts oldest-first until each store fits the
+    budget (the budget applies to the combined root, apportioned by
+    evicting globally-oldest entries).  Orphaned atomic-write temp
+    files past their grace period are always removed.  Returns one
+    :class:`PruneReport` per store plus a ``"total"`` roll-up.
+    """
+    root = root or default_cache_dir()
+    stores = {
+        "traces": _scan_files(os.path.join(root, "traces"), ".trace"),
+        "results": _scan_files(os.path.join(root, "results"), ".json"),
+        "manifests": _scan_files(os.path.join(root, "manifests"), ".json"),
+    }
+    reports: Dict[str, PruneReport] = {}
+    if max_bytes is None:
+        for name, files in stores.items():
+            reports[name] = _prune_files(
+                files, max_age=max_age, dry_run=dry_run
+            )
+    else:
+        # One global oldest-first eviction over every store so the
+        # byte budget bounds the root, not each directory separately:
+        # age cutoff first, then evict globally-oldest entries until
+        # the combined survivors fit the budget.
+        by_age = [item for files in stores.values() for item in files]
+        now = time.time()
+        doomed = []
+        kept = []
+        for item in by_age:
+            if _is_tmp(item[0]):
+                doomed.append(item)  # orphaned atomic-write debris
+            elif max_age is not None and now - item[1] > max_age:
+                doomed.append(item)
+            else:
+                kept.append(item)
+        kept.sort(key=lambda item: item[1])
+        total = sum(size for _, _, size in kept)
+        while kept and total > max_bytes:
+            item = kept.pop(0)
+            total -= item[2]
+            doomed.append(item)
+        doomed_paths = {item[0] for item in doomed}
+        for name, files in stores.items():
+            report = PruneReport()
+            for item in files:
+                path, _, size = item
+                if path in doomed_paths:
+                    if not dry_run:
+                        try:
+                            os.remove(path)
+                        except OSError:
+                            continue
+                    report.removed_entries += 1
+                    report.removed_bytes += size
+                else:
+                    report.kept_entries += 1
+                    report.kept_bytes += size
+            reports[name] = report
+    total = PruneReport()
+    for report in reports.values():
+        total.merge(report)
+    reports["total"] = total
+    return reports
 
 
 def _scan_dir(path: str, suffix: str) -> Dict[str, int]:
@@ -127,6 +316,18 @@ class ResultCache:
             hits=self._hits, misses=self._misses,
         )
 
+    def prune(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> PruneReport:
+        """Remove old entries / shrink to a byte budget (oldest first)."""
+        return _prune_files(
+            _scan_files(self.dir, ".json"),
+            max_age=max_age, max_bytes=max_bytes, dry_run=dry_run,
+        )
+
 
 class TraceStore:
     """Content-addressed store of serialized synthetic traces.
@@ -171,11 +372,23 @@ class TraceStore:
         return trace
 
     def store(self, spec, trace: Trace) -> None:
-        """Persist *trace* under the key of *spec* (atomic)."""
+        """Persist *trace* under the key of *spec* (atomic).
+
+        Interrupted writes (timeout signal, killed worker, drain) are
+        cleaned up instead of leaving a temp file behind; the visible
+        ``.trace`` entry only ever appears complete.
+        """
         path = self._path(spec)
         tmp = f"{path}.tmp.{os.getpid()}"
-        save_trace_binary(trace, tmp)
-        os.replace(tmp, path)
+        try:
+            save_trace_binary(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            raise
 
     def stats(self) -> StoreStats:
         """Inventory of the traces directory plus session counters."""
@@ -183,6 +396,18 @@ class TraceStore:
         return StoreStats(
             entries=scan["entries"], bytes=scan["bytes"],
             hits=self._hits, misses=self._misses,
+        )
+
+    def prune(
+        self,
+        max_age: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        dry_run: bool = False,
+    ) -> PruneReport:
+        """Remove old entries / shrink to a byte budget (oldest first)."""
+        return _prune_files(
+            _scan_files(self.dir, ".trace"),
+            max_age=max_age, max_bytes=max_bytes, dry_run=dry_run,
         )
 
 

@@ -31,12 +31,32 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.common.errors import ExecutionError
 from repro.exec.cache import ResultCache, TraceStore, default_cache_dir
 from repro.exec.hashing import versioned_key
 from repro.exec.manifest import JobRecord, RunManifest, new_run_id
+
+#: Observer callback signature: called with one event dict per job
+#: transition.  Events: ``cached`` (served from the result cache),
+#: ``running`` (submitted for an attempt), ``done`` (attempt
+#: succeeded), ``failed`` (attempt failed; ``final`` tells whether a
+#: retry will follow).  Every event carries ``index`` and ``key``.
+Observer = Callable[[Dict[str, Any]], None]
+
+
+def job_key(job) -> Optional[str]:
+    """Public cache/identity key for *job* (``None`` if uncacheable).
+
+    This is the key the engine caches under and the serve layer
+    coalesces on, exposed so other layers can compute it without an
+    engine instance.
+    """
+    payload = job.key_payload()
+    if payload is None:
+        return None
+    return versioned_key(payload)
 
 
 @dataclass(frozen=True)
@@ -71,17 +91,31 @@ class JobTimeout(Exception):
 
 
 class JobResult:
-    """One job's outcome as returned to the caller."""
+    """One job's outcome as returned to the caller.
 
-    __slots__ = ("job", "value", "cached", "attempts", "wall_time", "worker")
+    ``error`` is the empty string on success; under ``strict=False``
+    a job that exhausted its retries comes back with ``value=None``
+    and ``error`` holding the last failure text.
+    """
 
-    def __init__(self, job, value, cached, attempts, wall_time, worker):
+    __slots__ = (
+        "job", "value", "cached", "attempts", "wall_time", "worker", "error"
+    )
+
+    def __init__(self, job, value, cached, attempts, wall_time, worker,
+                 error=""):
         self.job = job
         self.value = value
         self.cached = cached
         self.attempts = attempts
         self.wall_time = wall_time
         self.worker = worker
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced a value."""
+        return not self.error
 
 
 def _alarm_handler(signum, frame):  # pragma: no cover - fires via signal
@@ -141,6 +175,16 @@ def _run_job(job, timeout: Optional[float]) -> Dict[str, Any]:
         }
 
 
+def _notify(observer: Optional[Observer], **event: Any) -> None:
+    """Deliver one event to *observer*; reporting must never fail a run."""
+    if observer is None:
+        return
+    try:
+        observer(event)
+    except Exception:
+        pass
+
+
 def _worker_init(cache_dir: Optional[str]) -> None:
     """Pool initializer: point workers at the persistent trace store."""
     # Imported here (not at module level): the harness package imports
@@ -198,12 +242,27 @@ class ExecutionEngine:
     # public API
     # ------------------------------------------------------------------
 
-    def run(self, jobs: Sequence[Any], label: str = "") -> List[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[Any],
+        label: str = "",
+        observer: Optional[Observer] = None,
+        strict: bool = True,
+    ) -> List[JobResult]:
         """Execute *jobs*, returning results in submission order.
 
-        Raises :class:`~repro.common.errors.ExecutionError` if any job
-        still fails after ``policy.max_attempts`` tries; the manifest
-        (including the failures) is finalized first.
+        With ``strict=True`` (the default) an
+        :class:`~repro.common.errors.ExecutionError` is raised if any
+        job still fails after ``policy.max_attempts`` tries; the
+        manifest (including the failures) is finalized first.  With
+        ``strict=False`` failed jobs instead come back as
+        :class:`JobResult` objects with ``value=None`` and ``error``
+        set, so batch callers (the serve scheduler) keep the healthy
+        results.
+
+        *observer*, when given, receives one event dict per job
+        transition (see :data:`Observer`); observer exceptions are
+        swallowed so progress reporting can never fail a run.
         """
         from repro.harness import registry  # circular at module level
 
@@ -230,11 +289,15 @@ class ExecutionEngine:
         previous_store = registry.set_trace_store(trace_store)
         try:
             pending = self._resolve_cached(
-                jobs, keys, records, results, result_cache, progress
+                jobs, keys, records, results, result_cache, progress,
+                observer,
             )
             attempt = 1
             while pending and attempt <= policy.max_attempts:
                 failures: List[int] = []
+                for index in pending:
+                    _notify(observer, event="running", index=index,
+                            key=keys[index], attempt=attempt)
                 for index, outcome in self._run_batch(jobs, pending, progress):
                     record = records[index]
                     record.attempts = attempt
@@ -254,12 +317,20 @@ class ExecutionEngine:
                                 keys[index], outcome["payload"],
                                 meta=record.params,
                             )
+                        _notify(observer, event="done", index=index,
+                                key=keys[index], attempt=attempt,
+                                wall=outcome["wall"])
                     else:
                         record.status = (
                             "timeout" if outcome.get("timeout") else "failed"
                         )
                         record.error = outcome["error"]
                         failures.append(index)
+                        _notify(observer, event="failed", index=index,
+                                key=keys[index], attempt=attempt,
+                                error=outcome["error"],
+                                timeout=bool(outcome.get("timeout")),
+                                final=attempt >= policy.max_attempts)
                 pending = failures
                 if pending and attempt < policy.max_attempts:
                     time.sleep(policy.backoff * (2 ** (attempt - 1)))
@@ -279,24 +350,59 @@ class ExecutionEngine:
                     )
 
         if pending:
-            details = "; ".join(
-                f"{records[i].job_id}: {records[i].error}" for i in pending[:5]
-            )
-            raise ExecutionError(
-                f"{len(pending)} job(s) failed after "
-                f"{policy.max_attempts} attempt(s): {details}"
-            )
+            if strict:
+                details = "; ".join(
+                    f"{records[i].job_id}: {records[i].error}"
+                    for i in pending[:5]
+                )
+                raise ExecutionError(
+                    f"{len(pending)} job(s) failed after "
+                    f"{policy.max_attempts} attempt(s): {details}"
+                )
+            for index in pending:
+                results[index] = JobResult(
+                    job=jobs[index], value=None, cached=False,
+                    attempts=records[index].attempts,
+                    wall_time=records[index].wall_time,
+                    worker=records[index].worker,
+                    error=records[index].error or "job failed",
+                )
         return [result for result in results if result is not None]
+
+    async def run_async(
+        self,
+        jobs: Sequence[Any],
+        label: str = "",
+        observer: Optional[Observer] = None,
+        strict: bool = True,
+    ) -> List[JobResult]:
+        """:meth:`run` on a worker thread, awaitable from asyncio code.
+
+        The engine's blocking machinery (process pools, retries, cache
+        I/O) runs off the event loop; *observer* is invoked on the
+        worker thread, so asyncio callers must trampoline events back
+        with ``loop.call_soon_threadsafe``.
+        """
+        import asyncio
+        import functools
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None,
+            functools.partial(
+                self.run, jobs, label=label, observer=observer, strict=strict
+            ),
+        )
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
     def _key_for(self, job, index: int) -> str:
-        payload = job.key_payload()
-        if payload is None:
+        key = job_key(job)
+        if key is None:
             return f"uncached-{index}"
-        return versioned_key(payload)
+        return key
 
     def _open_cache(self, manifest: RunManifest):
         """Build cache handles, degrading to no-cache on unusable dirs."""
@@ -317,7 +423,8 @@ class ExecutionEngine:
         return result_cache, trace_store
 
     def _resolve_cached(
-        self, jobs, keys, records, results, result_cache, progress
+        self, jobs, keys, records, results, result_cache, progress,
+        observer=None,
     ) -> List[int]:
         """Answer cache hits in-place; return the missing job indexes."""
         pending: List[int] = []
@@ -341,6 +448,7 @@ class ExecutionEngine:
                 attempts=0, wall_time=0.0, worker=0,
             )
             progress.update(done=1, cached=1)
+            _notify(observer, event="cached", index=index, key=keys[index])
         return pending
 
     def _run_batch(self, jobs, pending: List[int], progress):

@@ -1,0 +1,263 @@
+"""Thin client for a running ``repro serve`` instance.
+
+Stdlib-only (``http.client``), one connection per request to match the
+server's ``Connection: close`` discipline.  :func:`submit_or_inline`
+is the CLI's entry point: it talks to a server when one is reachable
+and otherwise executes the job inline through the same protocol and
+engine, so ``repro submit`` always produces a result.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import socket
+import time
+from typing import Any, Dict, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.common.errors import ReproError
+from repro.exec.engine import ExecPolicy, ExecutionEngine, job_key
+from repro.serve.protocol import parse_job
+
+#: Environment override for the default server address.
+SERVER_ENV = "REPRO_SERVER"
+
+
+def default_server() -> str:
+    """``$REPRO_SERVER`` or the local default address."""
+    from repro.serve.app import DEFAULT_PORT
+
+    return os.environ.get(SERVER_ENV) or f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServeError(ReproError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[int] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServeUnavailable(ReproError):
+    """No server is listening at the target address."""
+
+
+class ServeClient:
+    """Synchronous JSON client for the serve API."""
+
+    def __init__(self, base_url: Optional[str] = None,
+                 timeout: float = 30.0) -> None:
+        self.base_url = (base_url or default_server()).rstrip("/")
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ReproError(
+                f"unsupported server URL {self.base_url!r} (http only)"
+            )
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, Dict[str, str], Any]:
+        connection = self._connect()
+        try:
+            payload = None
+            headers = {"Accept": "application/json"}
+            if body is not None:
+                payload = json.dumps(body).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            try:
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServeUnavailable(
+                    f"no server at {self.base_url}: {exc}"
+                ) from exc
+            document: Any = None
+            if raw:
+                try:
+                    document = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    document = {"error": raw.decode("utf-8", "replace")}
+            return response.status, dict(response.getheaders()), document
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Any:
+        status, headers, document = self._request(method, path, body)
+        if status >= 400:
+            message = "unexpected error"
+            if isinstance(document, dict) and document.get("error"):
+                message = str(document["error"])
+            retry_after = None
+            for name, value in headers.items():
+                if name.lower() == "retry-after":
+                    try:
+                        retry_after = int(value)
+                    except ValueError:
+                        pass
+            raise ServeError(status, message, retry_after=retry_after)
+        return document
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def is_up(self) -> bool:
+        """Whether a serve instance answers ``/healthz``."""
+        try:
+            self.healthz()
+            return True
+        except (ServeUnavailable, ServeError):
+            return False
+
+    def healthz(self) -> Dict[str, Any]:
+        """``GET /healthz``."""
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``."""
+        return self._checked("GET", "/metrics")
+
+    def submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``; raises :class:`ServeError` on 4xx/5xx."""
+        return self._checked("POST", "/jobs", body=request)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>``."""
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> Dict[str, Any]:
+        """``GET /jobs``."""
+        return self._checked("GET", "/jobs")
+
+    def events(self, job_id: str,
+               timeout: float = 300.0) -> Iterator[Dict[str, Any]]:
+        """``GET /jobs/<id>/events``: yield NDJSON events to stream end."""
+        connection = self._connect()
+        try:
+            try:
+                connection.request(
+                    "GET", f"/jobs/{job_id}/events?timeout={timeout:g}"
+                )
+                response = connection.getresponse()
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                raise ServeUnavailable(
+                    f"no server at {self.base_url}: {exc}"
+                ) from exc
+            if response.status >= 400:
+                raw = response.read()
+                message = raw.decode("utf-8", "replace")
+                try:
+                    message = json.loads(message).get("error", message)
+                except ValueError:
+                    pass
+                raise ServeError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.25) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its document.
+
+        Follows the event stream (cheap, push-based) and falls back to
+        polling ``GET /jobs/<id>`` if the stream ends early.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for event in self.events(job_id, timeout=timeout):
+                if event.get("status") in ("done", "failed", "cancelled"):
+                    break
+        except ServeUnavailable:
+            pass  # server may be draining; fall through to polls
+        while True:
+            document = self.job(job_id)
+            if document["status"] in ("done", "failed", "cancelled"):
+                return document
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    504, f"job {job_id} not terminal after {timeout}s"
+                )
+            time.sleep(poll)
+
+
+def execute_inline(
+    request: Dict[str, Any], policy: Optional[ExecPolicy] = None
+) -> Dict[str, Any]:
+    """Run one request locally through the same protocol + engine.
+
+    Returns a job document shaped like ``GET /jobs/<id>`` with
+    ``"disposition": "inline"`` so callers can tell the paths apart.
+    """
+    job = parse_job(request)
+    engine = ExecutionEngine(policy or ExecPolicy(use_cache=True))
+    started = time.time()
+    result = engine.run([job], label="submit-inline")[0]
+    finished = time.time()
+    return {
+        "job_id": job_key(job),
+        "status": "done",
+        "disposition": "inline",
+        "params": job.describe(),
+        "cached": result.cached,
+        "attempts": result.attempts,
+        "created": started,
+        "started": started,
+        "finished": finished,
+        "wall_ms": round((finished - started) * 1000.0, 3),
+        "result": job.encode_result(result.value),
+    }
+
+
+def submit_or_inline(
+    request: Dict[str, Any],
+    server: Optional[str] = None,
+    wait: bool = True,
+    timeout: float = 300.0,
+    policy: Optional[ExecPolicy] = None,
+) -> Tuple[Dict[str, Any], str]:
+    """Submit to a server if reachable, else execute inline.
+
+    Returns ``(document, via)`` where *via* is ``"server"`` or
+    ``"inline"``.  With ``wait=False`` against a live server the
+    returned document is the submission acknowledgement, not the
+    result.
+    """
+    client = ServeClient(server, timeout=min(timeout, 30.0))
+    try:
+        acknowledgement = client.submit(request)
+    except ServeUnavailable:
+        return execute_inline(request, policy=policy), "inline"
+    if not wait:
+        return acknowledgement, "server"
+    document = client.wait(acknowledgement["job_id"], timeout=timeout)
+    document["disposition"] = acknowledgement.get("disposition")
+    return document, "server"

@@ -1,0 +1,169 @@
+"""Live operational metrics for the simulation service.
+
+One :class:`ServiceMetrics` instance is shared by the HTTP layer and
+the scheduler; ``GET /metrics`` renders :meth:`ServiceMetrics.snapshot`
+as JSON.  Everything is plain counters plus a bounded latency
+reservoir — cheap enough to update on every request, with quantiles
+computed only when a snapshot is taken.
+
+All updates happen on the event-loop thread (engine observer events
+are trampolined there by the scheduler), so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+
+class LatencyReservoir:
+    """Rolling window of the last *size* latencies, in seconds."""
+
+    def __init__(self, size: int = 512) -> None:
+        self._window = deque(maxlen=size)
+        self.count = 0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        self._window.append(seconds)
+        self.count += 1
+        self.total += seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The *q*-quantile of the current window (``None`` if empty)."""
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def mean(self) -> Optional[float]:
+        """Lifetime mean latency (``None`` before the first sample)."""
+        if not self.count:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """p50/p95/mean in milliseconds plus the sample count."""
+        def ms(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value * 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "p50_ms": ms(self.quantile(0.50)),
+            "p95_ms": ms(self.quantile(0.95)),
+            "mean_ms": ms(self.mean()),
+        }
+
+
+class ServiceMetrics:
+    """Counters and gauges behind ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        #: HTTP surface.
+        self.requests_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+        #: Submission funnel.
+        self.jobs_submitted = 0      #: accepted as new work
+        self.jobs_coalesced = 0      #: deduplicated onto in-flight work
+        self.jobs_memoized = 0       #: answered from a terminal entry
+        self.jobs_rejected = 0       #: 429 backpressure rejections
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0      #: queued jobs dropped by a drain
+        #: Engine-side accounting.
+        self.engine_runs = 0
+        self.engine_executed = 0     #: jobs actually computed
+        self.engine_cache_hits = 0   #: jobs served by the result cache
+        self.uops_delivered = 0      #: trace uops of completed sim work
+        self.busy_seconds = 0.0      #: summed per-job engine wall time
+        #: submit -> terminal latency of completed jobs.
+        self.job_latency = LatencyReservoir()
+        #: wall time of whole engine batches.
+        self.batch_latency = LatencyReservoir()
+
+    # ------------------------------------------------------------------
+
+    def record_response(self, status: int) -> None:
+        """Count one HTTP response."""
+        self.requests_total += 1
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1
+        )
+
+    def uops_per_sec(self) -> Optional[float]:
+        """Aggregate simulation throughput over executed jobs."""
+        if self.busy_seconds <= 0.0:
+            return None
+        return self.uops_delivered / self.busy_seconds
+
+    def cache_hit_ratio(self) -> Optional[float]:
+        """Engine result-cache hits / engine-resolved jobs."""
+        resolved = self.engine_executed + self.engine_cache_hits
+        if not resolved:
+            return None
+        return self.engine_cache_hits / resolved
+
+    def snapshot(
+        self, queue_depth: int = 0, inflight: int = 0, draining: bool = False
+    ) -> Dict[str, object]:
+        """The ``/metrics`` document (gauges passed in by the caller)."""
+        ups = self.uops_per_sec()
+        ratio = self.cache_hit_ratio()
+        return {
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "draining": draining,
+            "requests": {
+                "total": self.requests_total,
+                "by_status": {
+                    str(code): count
+                    for code, count in sorted(
+                        self.responses_by_status.items()
+                    )
+                },
+            },
+            "jobs": {
+                "submitted": self.jobs_submitted,
+                "coalesced": self.jobs_coalesced,
+                "memoized": self.jobs_memoized,
+                "rejected": self.jobs_rejected,
+                "completed": self.jobs_completed,
+                "failed": self.jobs_failed,
+                "cancelled": self.jobs_cancelled,
+                "queue_depth": queue_depth,
+                "inflight": inflight,
+            },
+            "engine": {
+                "runs": self.engine_runs,
+                "executed": self.engine_executed,
+                "cache_hits": self.engine_cache_hits,
+                "cache_hit_ratio": (
+                    None if ratio is None else round(ratio, 4)
+                ),
+                "uops_delivered": self.uops_delivered,
+                "busy_seconds": round(self.busy_seconds, 6),
+                "uops_per_sec": None if ups is None else round(ups, 1),
+            },
+            "latency": {
+                "job": self.job_latency.snapshot(),
+                "batch": self.batch_latency.snapshot(),
+            },
+        }
+
+
+def merge_sysinfo(snapshot: Dict[str, object],
+                  cache_root: Optional[str] = None) -> Dict[str, object]:
+    """Extend a metrics snapshot with host + persistent-cache info.
+
+    Reuses the same machine-readable builders as ``repro info --json``
+    so scripts see one schema in both places.
+    """
+    from repro.sysinfo import cache_data, perf_data
+
+    merged = dict(snapshot)
+    merged["cache"] = cache_data(cache_root)
+    merged["perf"] = perf_data()
+    return merged

@@ -1,0 +1,103 @@
+"""Machine-readable host / cache / perf info.
+
+``repro info --json`` and the serve layer's ``/metrics`` endpoint both
+render these dicts, so scripts get one stable schema instead of
+scraping the human-readable ``repro info`` text.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import platform
+from typing import Any, Dict, Optional
+
+from repro.exec.cache import default_cache_dir, disk_cache_stats
+
+
+def host_data() -> Dict[str, Any]:
+    """Interpreter and machine context."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def cache_data(root: Optional[str] = None) -> Dict[str, Any]:
+    """Persistent trace/result cache inventory for *root*."""
+    root = root or default_cache_dir()
+    if not os.path.isdir(root):
+        return {"root": root, "present": False}
+    disk = disk_cache_stats(root)
+    return {
+        "root": root,
+        "present": True,
+        "traces": {
+            "entries": disk.traces.entries, "bytes": disk.traces.bytes,
+        },
+        "results": {
+            "entries": disk.results.entries, "bytes": disk.results.bytes,
+        },
+    }
+
+
+def latest_bench_report(search_dir: str = ".") -> Optional[Dict[str, Any]]:
+    """The newest readable ``BENCH_*.json`` under *search_dir*, if any."""
+    newest = None
+    for path in glob.glob(os.path.join(search_dir, "BENCH_*.json")):
+        try:
+            mtime = os.path.getmtime(path)
+            if newest is None or mtime > newest[0]:
+                with open(path, "r", encoding="utf-8") as handle:
+                    newest = (mtime, path, json.load(handle))
+        except (OSError, ValueError):
+            continue
+    if newest is None:
+        return None
+    _, path, report = newest
+    report = dict(report)
+    report["_path"] = path
+    return report
+
+
+def perf_data(search_dir: str = ".") -> Dict[str, Any]:
+    """The ``[perf]`` section of ``repro info`` as data."""
+    payload: Dict[str, Any] = {"host": host_data()}
+    report = latest_bench_report(search_dir)
+    if report is None:
+        payload["bench"] = None
+        return payload
+    payload["bench"] = {
+        "path": report.get("_path"),
+        "rev": report.get("rev"),
+        "budget_uops": report.get("budget_uops"),
+        "calibration_ops_per_sec": report.get("calibration_ops_per_sec"),
+        "phases": {
+            name: {"uops_per_sec": phase.get("uops_per_sec"),
+                   "seconds": phase.get("seconds")}
+            for name, phase in report.get("phases", {}).items()
+        },
+    }
+    return payload
+
+
+def info_data(cache_root: Optional[str] = None,
+              traces: Optional[list] = None) -> Dict[str, Any]:
+    """The full ``repro info --json`` document."""
+    from repro.harness.registry import trace_cache_stats
+
+    memory = trace_cache_stats()
+    return {
+        "traces": traces or [],
+        "trace_cache": {
+            "entries": memory.entries,
+            "bytes": memory.bytes,
+            "hits": memory.hits,
+            "misses": memory.misses,
+        },
+        "cache": cache_data(cache_root),
+        "perf": perf_data(),
+    }

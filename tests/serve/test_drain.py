@@ -1,0 +1,88 @@
+"""Graceful-shutdown test against a real ``repro serve`` process.
+
+The acceptance property: a server that received SIGTERM finishes its
+in-flight work, reports the drain on stderr and exits 0.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _spawn_server(tmp_path, extra_args=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         *extra_args],
+        env=env, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def _wait_for_url(process, lines, timeout=30.0):
+    """Collect stderr lines on a thread until the listen line appears."""
+
+    def pump():
+        for line in process.stderr:
+            lines.append(line)
+
+    thread = threading.Thread(target=pump, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        for line in lines:
+            match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if match:
+                return match.group(1), thread
+        if process.poll() is not None:
+            raise AssertionError(
+                f"serve exited early (rc={process.returncode}): "
+                f"{''.join(lines)}"
+            )
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError(f"serve never came up: {''.join(lines)}")
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM"), reason="needs POSIX signals"
+)
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    from repro.serve.client import ServeClient
+
+    process = _spawn_server(tmp_path)
+    lines: list = []
+    try:
+        base_url, pump = _wait_for_url(process, lines)
+        client = ServeClient(base_url, timeout=30.0)
+        assert client.healthz()["ready"] is True
+
+        request = {"frontend": "xbc", "length": 10_000,
+                   "total_uops": 1024}
+        acknowledgement = client.submit(request)
+        document = client.wait(acknowledgement["job_id"], timeout=60.0)
+        assert document["status"] == "done"
+
+        process.send_signal(signal.SIGTERM)
+        returncode = process.wait(timeout=30.0)
+        assert returncode == 0
+        pump.join(timeout=10.0)
+        stderr = "".join(lines)
+        assert "drained" in stderr
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
