@@ -17,6 +17,7 @@ from repro.bench.harness import (
     REGRESSION_TOLERANCE,
     compare_to_baseline,
     format_report,
+    resolve_phases,
     run_bench,
     write_report,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "compare_to_baseline",
     "format_report",
     "format_serve_bench",
+    "resolve_phases",
     "run_bench",
     "run_serve_bench",
     "write_report",

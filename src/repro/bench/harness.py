@@ -24,13 +24,30 @@ from repro.program.profiles import profile_for_suite
 from repro.trace.executor import execute_program
 
 #: Allowed calibrated-throughput drop before the gate fails (30%).
+#: Baselines may tighten or relax this per phase with a ``tolerance``
+#: key inside the phase entry.
 REGRESSION_TOLERANCE = 0.30
 
 #: Report schema version (bump when the JSON layout changes).
-SCHEMA = 1
+#: 2: added ``phase_list`` and ``cpu_affinity``; phases are filterable.
+SCHEMA = 2
 
 _BENCH_SUITES = ("specint", "games", "sysmark")
 _QUICK_SUITES = ("specint",)
+
+#: The non-frontend phase name accepted by the ``phases`` filter.
+_TRACE_GEN_PHASE = "trace_gen"
+
+
+def _cpu_affinity() -> Optional[int]:
+    """CPUs this process may run on (None where unsupported)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is None:  # pragma: no cover - non-Linux platform
+        return None
+    try:
+        return len(getter(0))
+    except OSError:  # pragma: no cover - containers without the syscall
+        return None
 
 
 def _peak_rss_kb() -> Optional[int]:
@@ -92,16 +109,47 @@ def _time_best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
     return best, value
 
 
+def resolve_phases(
+    phases: Optional[List[str]],
+    frontends: Optional[List[str]] = None,
+) -> Tuple[bool, List[str]]:
+    """Resolve the phase filter to (time trace_gen?, frontend kinds).
+
+    *phases* holds tokens from ``--phases`` (frontend kinds plus
+    ``trace_gen``); *frontends* is the legacy ``--frontend`` filter.
+    Both absent means everything runs; both present intersect.
+    """
+    kinds = list(frontends) if frontends else list(FRONTEND_KINDS)
+    if phases is None:
+        return True, kinds
+    tokens = [token.strip() for token in phases if token.strip()]
+    unknown = [
+        token for token in tokens
+        if token != _TRACE_GEN_PHASE and token not in FRONTEND_KINDS
+    ]
+    if unknown:
+        valid = ", ".join((_TRACE_GEN_PHASE,) + tuple(FRONTEND_KINDS))
+        raise ValueError(
+            f"unknown bench phase(s) {', '.join(unknown)}; expected {valid}"
+        )
+    selected = [kind for kind in kinds if kind in tokens]
+    return _TRACE_GEN_PHASE in tokens, selected
+
+
 def run_bench(
     budget: int = 150_000,
     quick: bool = False,
     frontends: Optional[List[str]] = None,
     profile_path: Optional[str] = None,
+    phases: Optional[List[str]] = None,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
     *budget* is the dynamic trace length in uops.  ``quick=True``
-    shrinks the budget and suite list for CI smoke use.  When
+    shrinks the budget and suite list for CI smoke use.  *phases*
+    restricts what is timed (frontend kinds and/or ``trace_gen``);
+    trace generation still happens — untimed — when filtered out,
+    because every frontend phase consumes its traces.  When
     *profile_path* is set, the ``xbc`` phase additionally runs once
     under :mod:`cProfile` and the stats are dumped there.
     """
@@ -109,9 +157,9 @@ def run_bench(
         budget = min(budget, 60_000)
     suites = _QUICK_SUITES if quick else _BENCH_SUITES
     repeats = 2 if quick else 3
-    kinds = list(frontends) if frontends else list(FRONTEND_KINDS)
+    time_trace_gen, kinds = resolve_phases(phases, frontends)
 
-    phases: Dict[str, dict] = {}
+    phase_reports: Dict[str, dict] = {}
 
     # Phase 1: trace generation, caches bypassed (generator + executor
     # called directly, exactly what a cold `make_trace` does).
@@ -126,14 +174,18 @@ def run_bench(
             traces.append(execute_program(program, max_uops=spec.length_uops))
         return traces
 
-    seconds, traces = _time_best(generate_all, repeats)
+    if time_trace_gen:
+        seconds, traces = _time_best(generate_all, repeats)
+    else:
+        traces = generate_all()
     total_uops = sum(trace.total_uops for trace in traces)
-    phases["trace_gen"] = {
-        "seconds": round(seconds, 6),
-        "uops": total_uops,
-        "uops_per_sec": round(total_uops / seconds, 1),
-        "traces": len(traces),
-    }
+    if time_trace_gen:
+        phase_reports[_TRACE_GEN_PHASE] = {
+            "seconds": round(seconds, 6),
+            "uops": total_uops,
+            "uops_per_sec": round(total_uops / seconds, 1),
+            "traces": len(traces),
+        }
 
     # Phase 2..N: one phase per frontend, aggregated over the suites.
     for kind in kinds:
@@ -143,7 +195,7 @@ def run_bench(
                 lambda t=trace: run_frontend(kind, t), repeats
             )
             total_seconds += seconds
-        phases[f"frontend_{kind}"] = {
+        phase_reports[f"frontend_{kind}"] = {
             "seconds": round(total_seconds, 6),
             "uops": total_uops,
             "uops_per_sec": round(total_uops / total_seconds, 1),
@@ -166,13 +218,15 @@ def run_bench(
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "cpu_affinity": _cpu_affinity(),
         "budget_uops": budget,
         "quick": quick,
         "suites": list(suites),
         "repeats": repeats,
         "calibration_ops_per_sec": round(calibrate(), 1),
         "peak_rss_kb": _peak_rss_kb(),
-        "phases": phases,
+        "phase_list": list(phase_reports),
+        "phases": phase_reports,
     }
 
 
@@ -188,9 +242,12 @@ def write_report(report: dict, out_dir: str = ".") -> str:
 
 def format_report(report: dict) -> str:
     """Human-readable rendering of a report."""
+    affinity = report.get("cpu_affinity")
+    affinity_note = f" ({affinity} usable)" if affinity is not None else ""
     lines = [
         f"bench @ {report['rev']} "
-        f"(python {report['python']}, {report['cpu_count']} cpus, "
+        f"(python {report['python']}, "
+        f"{report['cpu_count']} cpus{affinity_note}, "
         f"budget {report['budget_uops']} uops"
         f"{', quick' if report.get('quick') else ''})",
         f"  calibration: {report['calibration_ops_per_sec']:,.0f} ops/s",
@@ -214,7 +271,10 @@ def compare_to_baseline(
 
     The baseline's throughput is rescaled by the calibration ratio so
     a slower CI machine does not read as a code regression; a phase
-    fails when its calibrated throughput drops more than *tolerance*.
+    fails when its calibrated throughput drops more than the tolerance.
+    A baseline phase may carry its own ``tolerance`` key (phases with
+    more timing variance get a wider band), which overrides the global
+    *tolerance* argument for that phase.
     """
     failures: List[str] = []
     base_cal = baseline.get("calibration_ops_per_sec") or 0
@@ -225,13 +285,14 @@ def compare_to_baseline(
         if phase is None:
             failures.append(f"{name}: present in baseline, missing from run")
             continue
+        phase_tolerance = base_phase.get("tolerance", tolerance)
         expected = base_phase["uops_per_sec"] * scale
         actual = phase["uops_per_sec"]
-        if actual < expected * (1.0 - tolerance):
+        if actual < expected * (1.0 - phase_tolerance):
             failures.append(
                 f"{name}: {actual:,.0f} uops/s < "
-                f"{expected * (1.0 - tolerance):,.0f} "
+                f"{expected * (1.0 - phase_tolerance):,.0f} "
                 f"(baseline {base_phase['uops_per_sec']:,.0f} x "
-                f"calibration {scale:.2f}, tolerance {tolerance:.0%})"
+                f"calibration {scale:.2f}, tolerance {phase_tolerance:.0%})"
             )
     return failures

@@ -6,11 +6,19 @@ mechanism, different payload).  The design is a tagged target cache: a
 table indexed by branch address XOR folded path history, storing the
 last observed target per (index, tag).  History folding gives the
 per-path target separation that makes switch-heavy code predictable.
+
+The store is two dense parallel lists (tags, targets) sized to the
+table, so predict/update are two list indexings plus integer math —
+no dict hashing, no tuple allocation per train.  Tag ``-1`` marks an
+empty slot (tags are instruction pointers, always >= 0).  The original
+dict-of-tuples implementation is kept as
+:class:`ReferenceIndirectPredictor` for the differential property
+tests in ``tests/branch``; both behave identically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Optional, Tuple, TypeVar
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
 
 from repro.common.bitutils import log2_exact
 
@@ -19,6 +27,76 @@ T = TypeVar("T")
 
 class IndirectPredictor(Generic[T]):
     """History-hashed last-target predictor with bounded capacity."""
+
+    def __init__(self, table_entries: int = 1024, history_bits: int = 8) -> None:
+        log2_exact(table_entries)
+        self.table_entries = table_entries
+        self._index_mask = table_entries - 1
+        self._history_mask = (1 << history_bits) - 1
+        self._tags: List[int] = [-1] * table_entries
+        self._targets: List[Optional[T]] = [None] * table_entries
+        self.history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index_tag(self, ip: int) -> Tuple[int, int]:
+        hashed = (ip >> 1) ^ (self.history << 2)
+        return hashed & self._index_mask, ip
+
+    def predict(self, ip: int) -> Optional[T]:
+        """Predicted target payload for *ip*, or ``None`` when untrained."""
+        index = ((ip >> 1) ^ (self.history << 2)) & self._index_mask
+        if self._tags[index] == ip:
+            return self._targets[index]
+        return None
+
+    def update(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> bool:
+        """Predict-then-train with the committed target.
+
+        Returns ``True`` when the prediction matched.  The global path
+        history is advanced with low bits of the actual target so that
+        successive executions along different paths use different table
+        slots.
+        """
+        index = ((ip >> 1) ^ (self.history << 2)) & self._index_mask
+        predicted = self._targets[index] if self._tags[index] == ip else None
+        correct = predicted == actual
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        self._tags[index] = ip
+        self._targets[index] = actual
+        raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)
+        # Fold the target address down to a nibble; mixing the higher
+        # bits in matters because code addresses share low-bit alignment.
+        mixed = (raw ^ (raw >> 4) ^ (raw >> 9)) & 0xF
+        self.history = ((self.history << 2) ^ mixed) & self._history_mask
+        return correct
+
+    def train(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> None:
+        """Write a mapping and advance history without prediction stats.
+
+        Callers that manage their own prediction bookkeeping (the XBC's
+        XiBTB path, which validates predictions against fetch-unit
+        content) use this instead of :meth:`update`.
+        """
+        index = ((ip >> 1) ^ (self.history << 2)) & self._index_mask
+        self._tags[index] = ip
+        self._targets[index] = actual
+        raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)
+        mixed = (raw ^ (raw >> 4) ^ (raw >> 9)) & 0xF
+        self.history = ((self.history << 2) ^ mixed) & self._history_mask
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions so far (1.0 before any)."""
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class ReferenceIndirectPredictor(Generic[T]):
+    """The original dict-of-tuples predictor, kept as the oracle."""
 
     def __init__(self, table_entries: int = 1024, history_bits: int = 8) -> None:
         log2_exact(table_entries)
@@ -43,13 +121,7 @@ class IndirectPredictor(Generic[T]):
         return None
 
     def update(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> bool:
-        """Predict-then-train with the committed target.
-
-        Returns ``True`` when the prediction matched.  The global path
-        history is advanced with low bits of the actual target so that
-        successive executions along different paths use different table
-        slots.
-        """
+        """Predict-then-train with the committed target."""
         index, tag = self._index_tag(ip)
         entry = self._table.get(index)
         predicted = entry[1] if entry is not None and entry[0] == tag else None
@@ -59,19 +131,12 @@ class IndirectPredictor(Generic[T]):
             self.mispredictions += 1
         self._table[index] = (tag, actual)
         raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)
-        # Fold the target address down to a nibble; mixing the higher
-        # bits in matters because code addresses share low-bit alignment.
         mixed = (raw ^ (raw >> 4) ^ (raw >> 9)) & 0xF
         self.history = ((self.history << 2) ^ mixed) & self._history_mask
         return correct
 
     def train(self, ip: int, actual: T, taken_ip_bit: Optional[int] = None) -> None:
-        """Write a mapping and advance history without prediction stats.
-
-        Callers that manage their own prediction bookkeeping (the XBC's
-        XiBTB path, which validates predictions against fetch-unit
-        content) use this instead of :meth:`update`.
-        """
+        """Write a mapping and advance history without prediction stats."""
         index, tag = self._index_tag(ip)
         self._table[index] = (tag, actual)
         raw = taken_ip_bit if taken_ip_bit is not None else hash(actual)

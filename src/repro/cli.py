@@ -224,6 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frontend", action="append", default=None,
                    choices=FRONTEND_KINDS, metavar="KIND",
                    help="bench only these frontends (repeatable)")
+    p.add_argument("--phases", metavar="LIST", default=None,
+                   help="comma-separated phases to time: trace_gen "
+                   "and/or frontend kinds (e.g. --phases tc,dc); "
+                   "traces are still generated, untimed, when "
+                   "trace_gen is filtered out")
     p.add_argument("--profile", metavar="FILE", default=None,
                    help="also cProfile one xbc run, dump stats to FILE")
     p.add_argument("--out", metavar="DIR", default=".",
@@ -465,12 +470,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             write_report,
         )
 
-        report = run_bench(
-            budget=args.budget,
-            quick=args.quick,
-            frontends=args.frontend,
-            profile_path=args.profile,
-        )
+        try:
+            report = run_bench(
+                budget=args.budget,
+                quick=args.quick,
+                frontends=args.frontend,
+                profile_path=args.profile,
+                phases=args.phases.split(",") if args.phases else None,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         serve_line = None
         if args.serve:
             from repro.bench.serve import format_serve_bench, run_serve_bench

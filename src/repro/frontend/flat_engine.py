@@ -1,0 +1,106 @@
+"""Packed predictor/icache state for the flat frontend hot paths.
+
+The flat rewrites of the IC/DC/TC/BBTC frontends (the PR-2 XBC
+playbook applied to the comparison models) fuse fetch, predict and
+deliver into one loop per run, with every predictor inlined as integer
+math over flat lists.  This module owns the *construction* of that
+state so all four frontends initialize identically — the loops
+themselves hoist these fields into locals and never call back in.
+
+Layouts (mirroring the packed classes in :mod:`repro.branch` and
+:mod:`repro.frontend.icache`, which remain the behavioural oracles):
+
+- gshare: ``g_counters`` list of 2-bit counters, index
+  ``((ip >> 1) ^ hist) & g_imask``;
+- BTB: three flat lists indexed ``set * assoc + way`` with ``-1`` tag
+  for an empty way and monotone LRU stamps;
+- RSB: fixed list ring with explicit top/count (underflow pops ``-1``,
+  which no address equals);
+- indirect: parallel tag/target lists, index
+  ``((ip >> 1) ^ (hist << 2)) & i_imask``, full-ip tags;
+- icache: one ``{line_addr: stamp}`` dict per set, min-stamp eviction.
+"""
+
+from __future__ import annotations
+
+from repro.common.bitutils import log2_exact
+from repro.frontend.config import FrontendConfig
+from repro.isa.instruction import (
+    CODE_CALL,
+    CODE_COND_BRANCH,
+    CODE_INDIRECT_CALL,
+    CODE_INDIRECT_JUMP,
+    CODE_JUMP,
+    CODE_RETURN,
+    KIND_IS_BRANCH,
+)
+
+# The flat loops classify branches with a single compare against the
+# first branch code instead of a table lookup; pin the code layout that
+# makes that sound.
+assert all(
+    (code >= CODE_COND_BRANCH) == KIND_IS_BRANCH[code]
+    for code in range(len(KIND_IS_BRANCH))
+), "kind codes no longer place all branches at >= CODE_COND_BRANCH"
+assert CODE_COND_BRANCH < CODE_JUMP < CODE_INDIRECT_JUMP < CODE_CALL
+assert CODE_CALL < CODE_INDIRECT_CALL < CODE_RETURN
+
+
+class FlatPredictors:
+    """Initial predictor + icache state for one flat frontend run."""
+
+    __slots__ = (
+        "g_counters", "g_imask", "g_hmask",
+        "b_tags", "b_targets", "b_stamps", "b_assoc", "b_set_mask",
+        "r_slots", "r_depth",
+        "i_tags", "i_targets", "i_imask", "i_hmask",
+        "ic_sets", "ic_set_mask", "ic_offset_bits", "ic_assoc",
+    )
+
+
+def make_flat_predictors(config: FrontendConfig) -> FlatPredictors:
+    """Build the packed state, with the oracles' geometry validation."""
+    p = FlatPredictors()
+
+    log2_exact(config.gshare_entries)
+    if not 0 <= config.gshare_history_bits <= 30:
+        raise ValueError(
+            f"history_bits out of range: {config.gshare_history_bits}"
+        )
+    # Counters start weakly taken, as in GsharePredictor.
+    p.g_counters = [2] * config.gshare_entries
+    p.g_imask = config.gshare_entries - 1
+    p.g_hmask = (1 << config.gshare_history_bits) - 1
+
+    if config.btb_entries % config.btb_assoc:
+        raise ValueError(
+            f"{config.btb_entries} entries not divisible by "
+            f"assoc {config.btb_assoc}"
+        )
+    num_sets = config.btb_entries // config.btb_assoc
+    log2_exact(num_sets)
+    p.b_assoc = config.btb_assoc
+    p.b_set_mask = num_sets - 1
+    p.b_tags = [-1] * config.btb_entries
+    p.b_targets = [0] * config.btb_entries
+    p.b_stamps = [0] * config.btb_entries
+
+    if config.rsb_depth < 1:
+        raise ValueError(f"RSB depth must be >= 1, got {config.rsb_depth}")
+    p.r_depth = config.rsb_depth
+    p.r_slots = [0] * config.rsb_depth
+
+    log2_exact(config.indirect_entries)
+    p.i_tags = [-1] * config.indirect_entries
+    p.i_targets = [0] * config.indirect_entries
+    p.i_imask = config.indirect_entries - 1
+    p.i_hmask = (1 << config.indirect_history_bits) - 1
+
+    line = config.ic_line_bytes
+    p.ic_offset_bits = log2_exact(line)
+    ic_sets = config.ic_size_bytes // (line * config.ic_assoc)
+    log2_exact(ic_sets)
+    p.ic_sets = [{} for _ in range(ic_sets)]
+    p.ic_set_mask = ic_sets - 1
+    p.ic_assoc = config.ic_assoc
+    return p

@@ -18,11 +18,17 @@ from repro.exec.cache import default_cache_dir, disk_cache_stats
 
 def host_data() -> Dict[str, Any]:
     """Interpreter and machine context."""
+    getter = getattr(os, "sched_getaffinity", None)
+    try:
+        affinity = len(getter(0)) if getter is not None else None
+    except OSError:  # pragma: no cover - containers without the syscall
+        affinity = None
     return {
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "cpu_affinity": affinity,
     }
 
 

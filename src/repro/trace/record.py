@@ -158,6 +158,32 @@ class Trace:
     def __getitem__(self, index):
         return self.records[index]
 
+    # -- hot-path view ---------------------------------------------------------
+
+    def hot_columns(self):
+        """The six columns as plain lists, memoized on :attr:`_derived`.
+
+        ``array('q')`` subscripting boxes a fresh ``int`` per access;
+        a ``list`` holds the already-boxed objects, which is what the
+        flat frontend loops index millions of times.  Costs one extra
+        in-memory copy of the columns per trace — acceptable because
+        traces are bounded by the experiment uop budget.
+
+        Returns ``(ips, takens, next_ips, kinds, nuops, snexts)``.
+        """
+        cols = self._derived.get("hot_columns")
+        if cols is None:
+            cols = (
+                list(self.ips),
+                list(self.takens),
+                list(self.next_ips),
+                list(self.kinds),
+                list(self.nuops),
+                list(self.snexts),
+            )
+            self._derived["hot_columns"] = cols
+        return cols
+
     # -- summary ---------------------------------------------------------------
 
     @property

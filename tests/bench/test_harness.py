@@ -2,30 +2,45 @@
 
 import json
 
+import pytest
+
 from repro.bench import (
     compare_to_baseline,
     format_report,
+    resolve_phases,
     run_bench,
     write_report,
 )
+from repro.harness.runner import FRONTEND_KINDS
 
 
-def _tiny_report():
-    return run_bench(budget=3_000, quick=True, frontends=["xbc"])
+def _tiny_report(**kwargs):
+    return run_bench(budget=3_000, quick=True, frontends=["xbc"], **kwargs)
 
 
 class TestRunBench:
     def test_report_shape(self):
         report = _tiny_report()
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["quick"] is True
         assert report["calibration_ops_per_sec"] > 0
         phases = report["phases"]
         assert set(phases) == {"trace_gen", "frontend_xbc"}
+        assert report["phase_list"] == list(phases)
+        assert "cpu_affinity" in report  # int on Linux, None elsewhere
         for phase in phases.values():
             assert phase["seconds"] > 0
             assert phase["uops_per_sec"] > 0
             assert phase["uops"] > 0
+
+    def test_phases_filter_drops_trace_gen_timing(self):
+        report = _tiny_report(phases=["xbc"])
+        assert set(report["phases"]) == {"frontend_xbc"}
+        assert report["phase_list"] == ["frontend_xbc"]
+
+    def test_phases_filter_trace_gen_only(self):
+        report = _tiny_report(phases=["trace_gen"])
+        assert set(report["phases"]) == {"trace_gen"}
 
     def test_write_and_format(self, tmp_path):
         report = _tiny_report()
@@ -36,6 +51,36 @@ class TestRunBench:
         rendered = format_report(report)
         assert "trace_gen" in rendered
         assert "frontend_xbc" in rendered
+
+
+class TestResolvePhases:
+    def test_default_runs_everything(self):
+        time_gen, kinds = resolve_phases(None)
+        assert time_gen is True
+        assert kinds == list(FRONTEND_KINDS)
+
+    def test_subset_selection(self):
+        time_gen, kinds = resolve_phases(["tc", "dc"])
+        assert time_gen is False
+        assert kinds == ["dc", "tc"]  # registry order, not request order
+
+    def test_trace_gen_token(self):
+        time_gen, kinds = resolve_phases(["trace_gen", "ic"])
+        assert time_gen is True
+        assert kinds == ["ic"]
+
+    def test_intersects_legacy_frontend_filter(self):
+        _, kinds = resolve_phases(["tc", "dc"], frontends=["dc", "xbc"])
+        assert kinds == ["dc"]
+
+    def test_whitespace_and_empty_tokens_ignored(self):
+        time_gen, kinds = resolve_phases([" tc ", ""])
+        assert time_gen is False
+        assert kinds == ["tc"]
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ValueError, match="unknown bench phase"):
+            resolve_phases(["tc", "bogus"])
 
 
 class TestRegressionGate:
@@ -68,6 +113,18 @@ class TestRegressionGate:
         """Same machine speed, halved throughput IS a regression."""
         base = self._fake(1000.0, 5e6)
         assert compare_to_baseline(self._fake(500.0, 5e6), base) != []
+
+    def test_per_phase_tolerance_override_relaxes(self):
+        """A baseline phase's own tolerance key widens its band."""
+        base = self._fake(1000.0, 5e6)
+        base["phases"]["frontend_xbc"]["tolerance"] = 0.50
+        assert compare_to_baseline(self._fake(600.0, 5e6), base) == []
+
+    def test_per_phase_tolerance_override_tightens(self):
+        base = self._fake(1000.0, 5e6)
+        base["phases"]["frontend_xbc"]["tolerance"] = 0.05
+        failures = compare_to_baseline(self._fake(900.0, 5e6), base)
+        assert failures and "tolerance 5%" in failures[0]
 
     def test_missing_phase_fails(self):
         base = self._fake(1000.0, 5e6)

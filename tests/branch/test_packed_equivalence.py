@@ -1,0 +1,118 @@
+"""Differential property tests: packed predictors vs their references.
+
+The flat frontends inline the packed-array predictor implementations
+(:class:`BranchTargetBuffer`, :class:`IndirectPredictor`,
+:class:`IntReturnStack`); the original dict/list implementations are
+kept as behavioural oracles.  Each test drives both implementations
+with the same pseudo-random operation stream and checks every return
+value and every statistics counter along the way, so any divergence is
+pinned to the first operation that caused it.
+
+Addresses are drawn from a small pool on purpose: the interesting
+behaviour (set aliasing, LRU eviction, ring overflow, history-indexed
+slot collisions) only happens under contention.
+"""
+
+import random
+
+import pytest
+
+from repro.branch.btb import BranchTargetBuffer, ReferenceBranchTargetBuffer
+from repro.branch.indirect import IndirectPredictor, ReferenceIndirectPredictor
+from repro.branch.rsb import IntReturnStack, ReturnStackBuffer
+
+SEEDS = (0, 1, 2, 3, 4)
+OPS = 4000
+
+
+def _ip_pool(rng, size):
+    """Even (instruction-aligned) addresses, small enough to alias."""
+    return [rng.randrange(0x1000, 0x40000) & ~1 for _ in range(size)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("entries,assoc", [(64, 4), (32, 2), (16, 1)])
+class TestBtbEquivalence:
+    def test_random_stream(self, seed, entries, assoc):
+        rng = random.Random(seed)
+        pool = _ip_pool(rng, entries * 3)  # ~3x capacity forces eviction
+        packed = BranchTargetBuffer(entries=entries, assoc=assoc)
+        ref = ReferenceBranchTargetBuffer(entries=entries, assoc=assoc)
+        for step in range(OPS):
+            ip = rng.choice(pool)
+            if rng.random() < 0.5:
+                assert packed.lookup(ip) == ref.lookup(ip), f"step {step}"
+            else:
+                target = rng.randrange(0x1000, 0x40000) & ~1
+                packed.install(ip, target)
+                ref.install(ip, target)
+            assert packed.lookups == ref.lookups
+            assert packed.hits == ref.hits
+        assert packed.hit_rate == ref.hit_rate
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("table_entries,history_bits", [(256, 8), (64, 4), (128, 0)])
+class TestIndirectEquivalence:
+    def test_random_stream(self, seed, table_entries, history_bits):
+        rng = random.Random(seed)
+        pool = _ip_pool(rng, 48)
+        targets = _ip_pool(rng, 8)
+        packed = IndirectPredictor(
+            table_entries=table_entries, history_bits=history_bits
+        )
+        ref = ReferenceIndirectPredictor(
+            table_entries=table_entries, history_bits=history_bits
+        )
+        for step in range(OPS):
+            ip = rng.choice(pool)
+            roll = rng.random()
+            if roll < 0.3:
+                assert packed.predict(ip) == ref.predict(ip), f"step {step}"
+            elif roll < 0.8:
+                actual = rng.choice(targets)
+                assert packed.update(ip, actual, actual) == ref.update(
+                    ip, actual, actual
+                ), f"step {step}"
+            else:
+                actual = rng.choice(targets)
+                packed.train(ip, actual, actual)
+                ref.train(ip, actual, actual)
+            assert packed.history == ref.history
+            assert packed.predictions == ref.predictions
+            assert packed.mispredictions == ref.mispredictions
+        assert packed.accuracy == ref.accuracy
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("depth", (1, 3, 16))
+class TestRsbEquivalence:
+    def test_random_stream(self, seed, depth):
+        rng = random.Random(seed)
+        packed = IntReturnStack(depth=depth)
+        ref = ReturnStackBuffer(depth=depth)
+        for step in range(OPS):
+            roll = rng.random()
+            if roll < 0.45:
+                value = rng.randrange(0x1000, 0x40000) & ~1
+                packed.push(value)
+                ref.push(value)
+            elif roll < 0.9:
+                got = packed.pop()
+                want = ref.pop()
+                # The packed stack signals underflow with -1, the
+                # generic one with None; both can never be a real
+                # return address.
+                assert got == (-1 if want is None else want), f"step {step}"
+            elif roll < 0.97:
+                got = packed.peek()
+                want = ref.peek()
+                assert got == (-1 if want is None else want), f"step {step}"
+            else:
+                packed.clear()
+                ref.clear()
+            assert len(packed) == len(ref)
+            assert packed.pushes == ref.pushes
+            assert packed.pops == ref.pops
+            assert packed.underflows == ref.underflows
+            assert packed.overflows == ref.overflows
