@@ -15,6 +15,7 @@ import platform
 import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.harness.registry import registry_spec
@@ -30,7 +31,9 @@ REGRESSION_TOLERANCE = 0.30
 
 #: Report schema version (bump when the JSON layout changes).
 #: 2: added ``phase_list`` and ``cpu_affinity``; phases are filterable.
-SCHEMA = 2
+#: 3: added ``timestamp`` (UTC ISO-8601); ``rev`` carries a ``-dirty``
+#:    suffix when the working tree has uncommitted changes.
+SCHEMA = 3
 
 _BENCH_SUITES = ("specint", "games", "sysmark")
 _QUICK_SUITES = ("specint",)
@@ -64,13 +67,24 @@ def _peak_rss_kb() -> Optional[int]:
 
 
 def _git_rev() -> str:
+    """Short HEAD rev, with ``-dirty`` appended when the working tree
+    has uncommitted changes — numbers measured on a modified tree must
+    never be attributed to the clean rev in the perf registry."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True, text=True, timeout=10,
         )
-        if out.returncode == 0:
-            return out.stdout.strip()
+        if out.returncode != 0:
+            return "unknown"
+        rev = out.stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if status.returncode == 0 and status.stdout.strip():
+            rev += "-dirty"
+        return rev
     except (OSError, subprocess.SubprocessError):
         pass
     return "unknown"
@@ -214,6 +228,9 @@ def run_bench(
     return {
         "schema": SCHEMA,
         "rev": _git_rev(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
@@ -230,13 +247,24 @@ def run_bench(
     }
 
 
-def write_report(report: dict, out_dir: str = ".") -> str:
-    """Write ``BENCH_<rev>.json`` into *out_dir*; returns the path."""
+def write_report(
+    report: dict, out_dir: str = ".", registry_dir: Optional[str] = None
+) -> str:
+    """Write ``BENCH_<rev>.json`` into *out_dir*; returns the path.
+
+    When *registry_dir* is given the report is also recorded into that
+    perf registry (see :mod:`repro.perf`), so a plain ``repro bench
+    --registry`` run extends the trajectory in one step.
+    """
     os.makedirs(out_dir, exist_ok=True)
     path = os.path.join(out_dir, f"BENCH_{report['rev']}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    if registry_dir:
+        from repro.perf.registry import PerfRegistry
+
+        PerfRegistry(registry_dir).add(report)
     return path
 
 

@@ -10,7 +10,11 @@ Commands map one-to-one onto the paper's artifacts:
 - ``info`` — describe the registry workloads (``--json`` for scripts);
 - ``serve`` / ``submit`` / ``jobs`` — the long-running simulation
   service and its client (see ``docs/serving.md``);
-- ``cache`` — manage the persistent trace/result cache (``prune``).
+- ``cache`` — manage the persistent trace/result cache (``prune``);
+- ``perf`` — continuous performance tracking: record bench reports
+  into a rev-keyed registry, view the calibrated trajectory
+  (``perf log`` / ``perf diff``), and run the statistical regression
+  gate (``perf gate``) — see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from repro.harness.experiments import (
     run_fig10,
 )
 from repro.harness import results
+from repro.perf.cli import add_perf_parser, dispatch_perf
 from repro.program.profiles import SUITE_NAMES
 
 
@@ -239,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve", action="store_true",
                    help="also measure serve-mode request latency "
                    "(cold + warm p50/p95 over HTTP)")
+    p.add_argument("--registry", metavar="DIR", default=None,
+                   help="also record the report into this perf "
+                   "registry (see `repro perf`)")
 
     p = sub.add_parser("analyze", help="workload analysis: redundancy, "
                        "multi-entry XBs, reuse distances")
@@ -301,6 +309,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="report what would be removed without deleting anything",
     )
+
+    add_perf_parser(sub)
 
     p = sub.add_parser(
         "serve", help="run the long-lived simulation service "
@@ -375,6 +385,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # problems, not simulator bugs: report cleanly, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # The consumer closed the pipe (`repro perf log | head`).
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -493,8 +509,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(format_report(report))
         if serve_line:
             print(serve_line)
-        path = write_report(report, args.out)
+        path = write_report(report, args.out, registry_dir=args.registry)
         print(f"[report written to {path}]")
+        if args.registry:
+            print(f"[perf] recorded {report['rev']} into {args.registry}")
         if args.profile:
             print(f"[profile written to {args.profile}]")
         if args.baseline:
@@ -543,6 +561,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         _print_perf_info()
     elif args.command == "cache":
         return _dispatch_cache(args)
+    elif args.command == "perf":
+        return dispatch_perf(args)
     elif args.command == "serve":
         return _dispatch_serve(args)
     elif args.command == "submit":

@@ -1,0 +1,47 @@
+"""Continuous performance tracking (``repro perf``).
+
+The :mod:`repro.bench` harness measures *one* revision; this package
+remembers *all* of them.  It keeps an on-disk registry of bench
+reports keyed by git revision (``benchmarks/registry/<rev>.json`` plus
+a small ordered index), renders the per-phase calibrated trajectory
+(``repro perf log`` / ``repro perf diff``), and replaces the old
+fixed-tolerance baseline gate with a statistical detector modeled on
+Perun's degradation checks: a robust Theil--Sen trend is fitted over
+the last N registry entries per phase and a new measurement fails the
+gate only when it falls outside the fitted band — a real step or
+drift, not calibration noise.
+
+All comparisons operate on *calibrated* throughput
+(``uops_per_sec / calibration_ops_per_sec``), so numbers recorded on
+different machines stay comparable (see docs/performance.md).
+"""
+
+from repro.perf.detect import (
+    DetectorParams,
+    PhaseCheck,
+    check_report,
+    check_series,
+    series_sigma,
+)
+from repro.perf.registry import (
+    DEFAULT_REGISTRY_DIR,
+    PerfRegistry,
+    calibrated_phases,
+    normalize_report,
+)
+from repro.perf.report import format_diff, format_gate, format_log
+
+__all__ = [
+    "DEFAULT_REGISTRY_DIR",
+    "DetectorParams",
+    "PerfRegistry",
+    "PhaseCheck",
+    "calibrated_phases",
+    "check_report",
+    "check_series",
+    "format_diff",
+    "format_gate",
+    "format_log",
+    "normalize_report",
+    "series_sigma",
+]

@@ -1,0 +1,192 @@
+"""Argument wiring for the ``repro perf`` command family.
+
+Kept out of :mod:`repro.cli` so the registry/detector plumbing stays
+next to the code it drives; the main CLI calls :func:`add_perf_parser`
+while building its tree and routes ``perf`` to :func:`dispatch_perf`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.perf.detect import DetectorParams, check_report
+from repro.perf.registry import DEFAULT_REGISTRY_DIR, PerfRegistry
+from repro.perf.report import format_diff, format_gate, format_log
+
+
+def _add_registry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--registry", metavar="DIR", default=DEFAULT_REGISTRY_DIR,
+        help="perf registry directory (default benchmarks/registry, "
+        "or $REPRO_PERF_REGISTRY)",
+    )
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window", type=int, default=DetectorParams.window, metavar="N",
+        help="registry entries the trend fit looks back over "
+        f"(default {DetectorParams.window})",
+    )
+    parser.add_argument(
+        "--k-sigma", type=float, default=DetectorParams.k_sigma,
+        metavar="K", help="step band half-width in residual sigmas "
+        f"(default {DetectorParams.k_sigma:g})",
+    )
+    parser.add_argument(
+        "--min-band", type=float, default=DetectorParams.min_band,
+        metavar="FRAC", help="step band floor as a fraction of the "
+        f"prediction (default {DetectorParams.min_band:g})",
+    )
+    parser.add_argument(
+        "--drift-tolerance", type=float,
+        default=DetectorParams.drift_tolerance, metavar="FRAC",
+        help="fitted fall across the window that counts as drift "
+        f"(default {DetectorParams.drift_tolerance:g})",
+    )
+    parser.add_argument(
+        "--cold-tolerance", type=float,
+        default=DetectorParams.cold_tolerance, metavar="FRAC",
+        help="median-ratio band while history is too short to fit "
+        f"(default {DetectorParams.cold_tolerance:g})",
+    )
+
+
+def add_perf_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``perf`` subcommand tree to the main parser."""
+    p = sub.add_parser(
+        "perf", help="continuous performance tracking: rev-keyed "
+        "registry, trajectory views, statistical regression gate"
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    ap = perf_sub.add_parser(
+        "add", help="record a BENCH_<rev>.json report into the registry"
+    )
+    ap.add_argument("reports", nargs="+", metavar="REPORT",
+                    help="bench report JSON file(s), any schema")
+    _add_registry_arg(ap)
+
+    ip = perf_sub.add_parser(
+        "import", help="migrate legacy BENCH_*.json reports (schema 1/2) "
+        "into the registry, in the order given"
+    )
+    ip.add_argument("reports", nargs="+", metavar="REPORT")
+    _add_registry_arg(ip)
+
+    lp = perf_sub.add_parser(
+        "log", help="per-phase calibrated throughput trajectory"
+    )
+    lp.add_argument("--phases", metavar="LIST", default=None,
+                    help="comma-separated phases to show "
+                    "(short names ok, e.g. tc,xbc,trace_gen)")
+    lp.add_argument("--limit", type=int, default=None, metavar="N",
+                    help="show only the newest N revs")
+    _add_registry_arg(lp)
+
+    dp = perf_sub.add_parser(
+        "diff", help="per-phase calibrated delta between two recorded revs"
+    )
+    dp.add_argument("rev1", help="older recorded rev")
+    dp.add_argument("rev2", help="newer recorded rev")
+    dp.add_argument("--phases", metavar="LIST", default=None)
+    _add_registry_arg(dp)
+
+    gp = perf_sub.add_parser(
+        "gate", help="statistical regression gate for CI: bench (or load "
+        "--report), judge each phase against its fitted trend band"
+    )
+    gp.add_argument("--report", metavar="FILE", default=None,
+                    help="gate this bench report instead of running one")
+    gp.add_argument("--full", action="store_true",
+                    help="run a full bench (default: quick smoke bench)")
+    gp.add_argument("--budget", type=int, default=150_000, metavar="UOPS",
+                    help="trace budget when benching (default 150000; "
+                    "quick mode caps it at 60000)")
+    gp.add_argument("--bench-phases", metavar="LIST", default=None,
+                    help="comma-separated bench phases to time and gate "
+                    "(forwarded to the bench harness)")
+    gp.add_argument("--add", action="store_true",
+                    help="record the candidate into the registry after "
+                    "checking (pass or fail), keeping the trajectory "
+                    "honest")
+    gp.add_argument("--out", metavar="DIR", default=None,
+                    help="also write BENCH_<rev>.json into DIR")
+    _add_registry_arg(gp)
+    _add_detector_args(gp)
+
+
+def _load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dispatch_perf(args: argparse.Namespace) -> int:
+    registry = PerfRegistry(args.registry)
+    if args.perf_command in ("add", "import"):
+        return _perf_add(registry, args.reports)
+    if args.perf_command == "log":
+        print(format_log(registry, phases=_split(args.phases),
+                         limit=args.limit))
+        return 0
+    if args.perf_command == "diff":
+        print(format_diff(registry, args.rev1, args.rev2,
+                          phases=_split(args.phases)))
+        return 0
+    if args.perf_command == "gate":
+        return _perf_gate(registry, args)
+    raise AssertionError(f"unhandled perf command {args.perf_command!r}")
+
+
+def _split(tokens) -> List[str]:
+    return tokens.split(",") if tokens else None
+
+
+def _perf_add(registry: PerfRegistry, paths: List[str]) -> int:
+    for path in paths:
+        report = _load_report(path)
+        entry = registry.add(report)
+        print(
+            f"[perf] recorded {entry['rev']} "
+            f"(source schema {entry['source_schema']}, "
+            f"{len(entry['phases'])} phases) into {registry.root}"
+        )
+    return 0
+
+
+def _perf_gate(registry: PerfRegistry, args: argparse.Namespace) -> int:
+    params = DetectorParams(
+        window=args.window,
+        k_sigma=args.k_sigma,
+        min_band=args.min_band,
+        drift_tolerance=args.drift_tolerance,
+        cold_tolerance=args.cold_tolerance,
+    )
+    if args.report:
+        report = _load_report(args.report)
+    else:
+        from repro.bench import format_report, run_bench
+
+        phases = _split(args.bench_phases)
+        try:
+            report = run_bench(budget=args.budget, quick=not args.full,
+                               phases=phases)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_report(report))
+        print()
+    if args.out:
+        from repro.bench import write_report
+
+        path = write_report(report, args.out)
+        print(f"[report written to {path}]")
+    checks = check_report(registry, report, params)
+    print(format_gate(checks, report, registry, params))
+    if args.add:
+        entry = registry.add(report)
+        print(f"[perf] recorded {entry['rev']} into {registry.root}")
+    return 1 if any(check.failed for check in checks) else 0

@@ -1,0 +1,231 @@
+"""Statistical regression detection over registry series.
+
+The old gate compared one run against one pinned baseline with a
+hand-tuned tolerance per phase.  This module replaces that with the
+scheme Perun uses for degradation checks: treat the registry as a
+time series per phase, fit a *robust* trend over the most recent
+window, and judge a new measurement against the fitted band instead
+of a fixed percentage.
+
+Per phase the detector runs two tests on calibrated throughput
+(higher is better):
+
+- **step** — fit a Theil--Sen line over the last ``window`` recorded
+  values (median of pairwise slopes: one wild measurement cannot tilt
+  the fit) and extrapolate one step forward.  The noise band is the
+  MAD of the fit residuals scaled to a normal-equivalent sigma, times
+  ``k_sigma``, but never narrower than ``min_band`` of the prediction
+  (an eerily quiet series must not turn 1% jitter into a failure).
+  A candidate below ``predicted - band`` is a step regression; above
+  ``predicted + band`` it is reported as an improvement.
+- **drift** — refit including the candidate and flag a sustained
+  decline: the fitted fall across the window must exceed
+  ``drift_tolerance`` of the starting level *and* clear twice the
+  residual noise.  This catches the slow leak that stays inside the
+  step band every individual revision.
+
+With fewer than ``min_history`` recorded values there is nothing to
+fit; the detector falls back to a median-of-ratios check with the
+``cold_tolerance`` band (the spirit of the old fixed gate), and with
+no history at all it passes — the first recorded rev defines the
+trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Normal-consistency factor: sigma = MAD_SCALE * MAD for Gaussian noise.
+_MAD_SCALE = 1.4826
+
+
+@dataclass(frozen=True)
+class DetectorParams:
+    """Tunables for the trend detector (see module docstring)."""
+
+    window: int = 10          #: registry entries the fits look back over
+    k_sigma: float = 3.0      #: step band half-width in residual sigmas
+    min_band: float = 0.05    #: step band floor, fraction of prediction
+    drift_tolerance: float = 0.12  #: fitted fall across the window
+    cold_tolerance: float = 0.30   #: median-ratio band below min_history
+    min_history: int = 4      #: fewer recorded values -> cold fallback
+
+
+@dataclass
+class PhaseCheck:
+    """Verdict for one phase of one candidate report."""
+
+    phase: str
+    status: str               #: ok | improved | step | drift | cold-ok |
+                              #: cold-step | no-history
+    failed: bool
+    candidate: float
+    predicted: Optional[float] = None
+    band: Optional[float] = None
+    sigma: Optional[float] = None
+    slope: Optional[float] = None  #: fitted change per entry (calibrated)
+    history: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def theil_sen(values: List[float]) -> Tuple[float, float]:
+    """Robust line fit over ``(i, values[i])``; returns (slope, intercept).
+
+    The slope is the median of all pairwise slopes, the intercept the
+    median of ``y - slope * x`` — each breaks down only past ~29%
+    contamination, so a couple of noisy CI measurements cannot fake or
+    mask a trend.
+    """
+    n = len(values)
+    if n == 1:
+        return 0.0, values[0]
+    slopes = [
+        (values[j] - values[i]) / (j - i)
+        for i in range(n) for j in range(i + 1, n)
+    ]
+    slope = _median(slopes)
+    intercept = _median([values[i] - slope * i for i in range(n)])
+    return slope, intercept
+
+
+def _residual_sigma(values: List[float], slope: float,
+                    intercept: float) -> float:
+    residuals = [values[i] - (intercept + slope * i)
+                 for i in range(len(values))]
+    center = _median(residuals)
+    return _MAD_SCALE * _median([abs(r - center) for r in residuals])
+
+
+def series_sigma(values: List[float]) -> Optional[float]:
+    """Detrended noise sigma of a series (None below 3 points).
+
+    Used by ``perf diff`` to mark which deltas clear the series' own
+    noise floor.
+    """
+    if len(values) < 3:
+        return None
+    slope, intercept = theil_sen(values)
+    return _residual_sigma(values, slope, intercept)
+
+
+def check_series(
+    history: List[float],
+    candidate: float,
+    params: DetectorParams = DetectorParams(),
+    phase: str = "",
+) -> PhaseCheck:
+    """Judge *candidate* against *history* (trajectory order, oldest
+    first, calibrated throughput).  Never raises on short history."""
+    if not history:
+        return PhaseCheck(
+            phase=phase, status="no-history", failed=False,
+            candidate=candidate, history=0,
+            notes=["first recorded value defines the trajectory"],
+        )
+
+    if len(history) < params.min_history:
+        reference = _median(history)
+        floor = reference * (1.0 - params.cold_tolerance)
+        failed = candidate < floor
+        return PhaseCheck(
+            phase=phase,
+            status="cold-step" if failed else "cold-ok",
+            failed=failed,
+            candidate=candidate,
+            predicted=reference,
+            band=reference * params.cold_tolerance,
+            history=len(history),
+            notes=[
+                f"only {len(history)} recorded value(s); median-ratio "
+                f"check at {params.cold_tolerance:.0%}"
+            ],
+        )
+
+    window = history[-params.window:]
+    m = len(window)
+
+    # Step test: fit on history only, extrapolate to the candidate.
+    slope, intercept = theil_sen(window)
+    predicted = intercept + slope * m
+    if predicted <= 0:
+        # A collapsing extrapolation says the trend fit is meaningless
+        # this far out; judge against the recent level instead.
+        predicted = _median(window)
+    sigma = _residual_sigma(window, slope, intercept)
+    band = max(params.k_sigma * sigma, params.min_band * abs(predicted))
+    if candidate < predicted - band:
+        return PhaseCheck(
+            phase=phase, status="step", failed=True, candidate=candidate,
+            predicted=predicted, band=band, sigma=sigma, slope=slope,
+            history=len(history),
+        )
+
+    # Drift test: refit with the candidate appended and measure the
+    # sustained fall across the window.
+    full = window + [candidate]
+    slope_full, intercept_full = theil_sen(full)
+    sigma_full = _residual_sigma(full, slope_full, intercept_full)
+    start = intercept_full
+    decline = -slope_full * (len(full) - 1)
+    if (
+        start > 0
+        and decline > params.drift_tolerance * start
+        and decline > 2.0 * sigma_full
+    ):
+        return PhaseCheck(
+            phase=phase, status="drift", failed=True, candidate=candidate,
+            predicted=predicted, band=band, sigma=sigma_full,
+            slope=slope_full, history=len(history),
+            notes=[
+                f"fitted fall {decline / start:.1%} across the last "
+                f"{len(full)} points"
+            ],
+        )
+
+    improved = candidate > predicted + band
+    return PhaseCheck(
+        phase=phase,
+        status="improved" if improved else "ok",
+        failed=False,
+        candidate=candidate,
+        predicted=predicted, band=band, sigma=sigma, slope=slope,
+        history=len(history),
+    )
+
+
+def check_report(
+    registry: "Any",
+    report: Dict[str, Any],
+    params: DetectorParams = DetectorParams(),
+) -> List[PhaseCheck]:
+    """Run the detector for every phase a bench *report* timed.
+
+    History comes from *registry* (a :class:`~repro.perf.registry.
+    PerfRegistry`), restricted to entries measuring the same workload
+    class (quick vs full — see :meth:`PerfRegistry.series`); an entry
+    for the report's own rev is excluded so gating after ``perf add``
+    does not compare the run to itself.  Phases the report did not
+    time are skipped — filtered ``--phases`` runs gate exactly what
+    they measured.
+    """
+    from repro.perf.registry import calibrated_phases
+
+    rev = report.get("rev")
+    quick = bool(report.get("quick"))
+    entries = [e for e in registry.entries() if e.get("rev") != rev]
+    checks: List[PhaseCheck] = []
+    for name, phase in calibrated_phases(report).items():
+        history = registry.series(name, entries=entries, quick=quick)
+        checks.append(
+            check_series(history, phase["calibrated"], params, phase=name)
+        )
+    return checks

@@ -1,0 +1,210 @@
+"""The on-disk perf registry: one JSON entry per recorded revision.
+
+Layout (all paths relative to the registry root, default
+``benchmarks/registry``)::
+
+    index.json     {"schema": 1, "revs": ["1a5af1c", "f876e2a", ...]}
+    <rev>.json     normalized registry entry (ENTRY_SCHEMA below)
+
+The index order *is* the trajectory order: ``perf add`` appends new
+revisions and replaces re-recorded ones in place, so re-benching a rev
+updates its numbers without rewriting history around it.  Entries are
+normalized from any bench report schema (1, 2 or 3): the fields the
+detector needs are hoisted, and every phase gains a ``calibrated``
+value — ``uops_per_sec / calibration_ops_per_sec`` — which is the
+machine-independent metric everything downstream compares.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+
+#: Default registry location, overridable per call site and via the
+#: environment (CI restores a cached copy into the committed path).
+DEFAULT_REGISTRY_DIR = os.environ.get(
+    "REPRO_PERF_REGISTRY", os.path.join("benchmarks", "registry")
+)
+
+#: Registry entry layout version (independent of the bench report
+#: schema an entry was ingested from, which is kept as ``source_schema``).
+ENTRY_SCHEMA = 1
+
+_INDEX_NAME = "index.json"
+
+#: Bench report keys copied through into registry entries verbatim.
+_CARRIED_KEYS = (
+    "timestamp",
+    "python",
+    "implementation",
+    "platform",
+    "cpu_count",
+    "cpu_affinity",
+    "budget_uops",
+    "quick",
+    "suites",
+    "repeats",
+    "peak_rss_kb",
+)
+
+
+def calibrated_phases(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Phase dicts from *report* with a ``calibrated`` value added.
+
+    ``calibrated`` is uops/s divided by the report's calibration score:
+    "simulated uops per calibration op", dimensionless and therefore
+    comparable across machines.  Reports without a calibration score
+    (never written by the harness, but be defensive) fall back to the
+    raw throughput so the trajectory stays renderable.
+    """
+    calibration = report.get("calibration_ops_per_sec") or 0.0
+    phases: Dict[str, Dict[str, Any]] = {}
+    for name, phase in (report.get("phases") or {}).items():
+        ups = phase.get("uops_per_sec", 0.0)
+        entry = {
+            "seconds": phase.get("seconds"),
+            "uops": phase.get("uops"),
+            "uops_per_sec": ups,
+            "calibrated": (ups / calibration) if calibration else ups,
+        }
+        phases[name] = entry
+    return phases
+
+
+def normalize_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a bench report (schema 1/2/3) into a registry entry."""
+    rev = report.get("rev")
+    if not rev or rev == "unknown":
+        raise ConfigError(
+            "bench report has no usable git rev; refusing to register it"
+        )
+    if not report.get("phases"):
+        raise ConfigError(f"bench report for {rev} has no phases")
+    entry: Dict[str, Any] = {
+        "entry_schema": ENTRY_SCHEMA,
+        "source_schema": report.get("schema", 1),
+        "rev": rev,
+        "calibration_ops_per_sec": report.get("calibration_ops_per_sec"),
+        "phases": calibrated_phases(report),
+    }
+    for key in _CARRIED_KEYS:
+        entry[key] = report.get(key)
+    return entry
+
+
+class PerfRegistry:
+    """Read/write access to one registry directory."""
+
+    def __init__(self, root: str = DEFAULT_REGISTRY_DIR):
+        self.root = root
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, _INDEX_NAME)
+
+    def entry_path(self, rev: str) -> str:
+        if os.sep in rev or rev in (".", ".."):
+            raise ConfigError(f"bad revision name {rev!r}")
+        return os.path.join(self.root, f"{rev}.json")
+
+    # -- index ---------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.isfile(self.index_path)
+
+    def revs(self) -> List[str]:
+        """Recorded revisions, oldest first (the trajectory order)."""
+        if not self.exists():
+            return []
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            index = json.load(handle)
+        return list(index.get("revs", []))
+
+    def _write_index(self, revs: List[str]) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        document = {"schema": 1, "revs": revs}
+        _atomic_dump(document, self.index_path)
+
+    # -- entries -------------------------------------------------------
+
+    def load(self, rev: str) -> Dict[str, Any]:
+        path = self.entry_path(rev)
+        if not os.path.isfile(path):
+            known = ", ".join(self.revs()) or "(registry empty)"
+            raise ConfigError(
+                f"no registry entry for rev {rev!r}; known revs: {known}"
+            )
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All entries in trajectory order."""
+        return [self.load(rev) for rev in self.revs()]
+
+    def add(self, report: Dict[str, Any]) -> Dict[str, Any]:
+        """Ingest a bench report; returns the normalized entry.
+
+        A rev already present is replaced in place (its position in
+        the trajectory is kept); new revs append at the end.
+        """
+        entry = normalize_report(report)
+        revs = self.revs()
+        if entry["rev"] not in revs:
+            revs.append(entry["rev"])
+        os.makedirs(self.root, exist_ok=True)
+        _atomic_dump(entry, self.entry_path(entry["rev"]))
+        self._write_index(revs)
+        return entry
+
+    # -- series --------------------------------------------------------
+
+    def phase_names(self) -> List[str]:
+        """Union of phase names across entries, first-seen order."""
+        names: List[str] = []
+        for entry in self.entries():
+            for name in entry.get("phases", {}):
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def series(
+        self,
+        phase: str,
+        entries: Optional[List[Dict[str, Any]]] = None,
+        quick: Optional[bool] = None,
+    ) -> List[float]:
+        """Calibrated values of *phase* in trajectory order.
+
+        Entries that did not time this phase are skipped (a filtered
+        ``--phases`` run must not punch holes into the trend fit).
+        When *quick* is given, only entries with that quick flag count:
+        quick runs (one suite, small budget) and full runs measure
+        different workloads, and calibration does not bridge that —
+        e.g. trace generation pays fixed per-trace costs that dominate
+        at small budgets, reading as a ~40% phantom regression.
+        """
+        if entries is None:
+            entries = self.entries()
+        values: List[float] = []
+        for entry in entries:
+            if quick is not None and bool(entry.get("quick")) != quick:
+                continue
+            phase_entry = entry.get("phases", {}).get(phase)
+            if phase_entry is not None:
+                values.append(phase_entry["calibrated"])
+        return values
+
+
+def _atomic_dump(document: Dict[str, Any], path: str) -> None:
+    """Write JSON via a same-directory rename so readers never see a
+    partial file (the CI cache may snapshot the directory mid-write)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)

@@ -1,0 +1,207 @@
+"""Rendering for ``repro perf log`` / ``diff`` / ``gate``.
+
+Registry entries store the machine-independent ``calibrated`` metric
+(uops per calibration op), which is the right thing to compare and an
+awkward thing to read.  Every view therefore *displays* throughput
+rescaled to one reference machine — the calibration score of the
+newest entry involved — so the numbers read as familiar uops/s while
+cross-machine entries remain honestly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.perf.detect import DetectorParams, PhaseCheck, series_sigma
+from repro.perf.registry import PerfRegistry
+
+#: ``perf diff`` significance fallback when the series is too short to
+#: estimate its noise floor (fewer than 3 entries).
+_DIFF_FALLBACK_THRESHOLD = 0.05
+
+
+def _si(value: float) -> str:
+    """3-significant-figure engineering rendering (1.23M, 456k, 78.9)."""
+    for factor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= factor:
+            return f"{value / factor:.3g}{suffix}"
+    return f"{value:.3g}"
+
+
+def _short(phase: str) -> str:
+    return phase[len("frontend_"):] if phase.startswith("frontend_") \
+        else phase
+
+
+def select_phases(
+    registry_phases: List[str], tokens: Optional[List[str]]
+) -> List[str]:
+    """Resolve ``--phases`` tokens (full or short names) to phase names."""
+    if not tokens:
+        return registry_phases
+    cleaned = [token.strip() for token in tokens if token.strip()]
+    by_short = {_short(name): name for name in registry_phases}
+    selected: List[str] = []
+    unknown: List[str] = []
+    for token in cleaned:
+        if token in registry_phases:
+            selected.append(token)
+        elif token in by_short:
+            selected.append(by_short[token])
+        else:
+            unknown.append(token)
+    if unknown:
+        valid = ", ".join(_short(name) for name in registry_phases)
+        raise ConfigError(
+            f"unknown perf phase(s) {', '.join(unknown)}; "
+            f"registry has: {valid}"
+        )
+    return selected
+
+
+def format_log(
+    registry: PerfRegistry,
+    phases: Optional[List[str]] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Per-phase calibrated trajectory, oldest rev first."""
+    entries = registry.entries()
+    if not entries:
+        return (
+            f"perf registry {registry.root}: empty "
+            "(record a run with `repro perf add` or `repro bench "
+            "--registry`)"
+        )
+    if limit:
+        entries = entries[-limit:]
+    names = select_phases(registry.phase_names(), phases)
+    reference = entries[-1].get("calibration_ops_per_sec") or 1.0
+
+    width = 17
+    header = f"{'rev':<14} {'when':<11} " + "".join(
+        f"{_short(name):<{width}}" for name in names
+    )
+    lines = [
+        f"perf log @ {registry.root} ({len(entries)} revs, uops/s "
+        f"calibrated to {entries[-1]['rev']}'s machine)",
+        header,
+    ]
+    previous: Dict[str, float] = {}
+    for entry in entries:
+        cells = []
+        for name in names:
+            phase = entry.get("phases", {}).get(name)
+            if phase is None:
+                cells.append(f"{'-':<{width}}")
+                continue
+            value = phase["calibrated"] * reference
+            cell = _si(value)
+            if name in previous and previous[name]:
+                delta = (phase["calibrated"] - previous[name]) \
+                    / previous[name]
+                cell += f" {delta:+.1%}"
+            previous[name] = phase["calibrated"]
+            cells.append(f"{cell:<{width}}")
+        when = (entry.get("timestamp") or "-")[:10]
+        mark = "*" if entry.get("quick") else ""
+        lines.append(f"{entry['rev'] + mark:<14} {when:<11} "
+                     + "".join(cells).rstrip())
+    if any(entry.get("quick") for entry in entries):
+        lines.append("(* = quick run: smaller budget, one suite)")
+    return "\n".join(lines)
+
+
+def format_diff(
+    registry: PerfRegistry,
+    rev1: str,
+    rev2: str,
+    phases: Optional[List[str]] = None,
+) -> str:
+    """Per-phase calibrated deltas between two recorded revs.
+
+    A delta is flagged significant (``*``) when it clears twice the
+    detrended noise sigma of that phase's full registry series; with
+    too little history for a noise estimate, a fixed 5% threshold
+    stands in (flagged ``?``).
+    """
+    entry1, entry2 = registry.load(rev1), registry.load(rev2)
+    reference = entry2.get("calibration_ops_per_sec") or 1.0
+    names = select_phases(registry.phase_names(), phases)
+
+    lines = [
+        f"perf diff {rev1} -> {rev2} (uops/s calibrated to "
+        f"{rev2}'s machine)",
+    ]
+    if bool(entry1.get("quick")) != bool(entry2.get("quick")):
+        lines.append(
+            "WARNING: one rev is a quick run, the other a full run — "
+            "the workloads differ, deltas are not apples to apples"
+        )
+    lines.append(
+        f"{'phase':<12} {rev1:>14} {rev2:>14} {'delta':>9}  signif"
+    )
+    for name in names:
+        p1 = entry1.get("phases", {}).get(name)
+        p2 = entry2.get("phases", {}).get(name)
+        if p1 is None or p2 is None:
+            missing = rev1 if p1 is None else rev2
+            lines.append(f"{_short(name):<12} "
+                         f"{'(not timed by ' + missing + ')':>40}")
+            continue
+        v1, v2 = p1["calibrated"], p2["calibrated"]
+        delta = (v2 - v1) / v1 if v1 else 0.0
+        sigma = series_sigma(
+            registry.series(name, quick=bool(entry2.get("quick")))
+        )
+        if sigma is not None:
+            significant = abs(v2 - v1) > 2.0 * sigma
+            flag = "*" if significant else "~"
+            note = ">2 sigma" if significant else "within noise"
+        else:
+            significant = abs(delta) > _DIFF_FALLBACK_THRESHOLD
+            flag = "?" if significant else "~"
+            note = (f">{_DIFF_FALLBACK_THRESHOLD:.0%} (no noise estimate)"
+                    if significant else "within 5%")
+        lines.append(
+            f"{_short(name):<12} {_si(v1 * reference):>14} "
+            f"{_si(v2 * reference):>14} {delta:>+8.1%}  {flag} {note}"
+        )
+    return "\n".join(lines)
+
+
+def format_gate(
+    checks: List[PhaseCheck],
+    report: Dict[str, Any],
+    registry: PerfRegistry,
+    params: DetectorParams,
+) -> str:
+    """Gate verdict table; one line per checked phase."""
+    calibration = report.get("calibration_ops_per_sec") or 1.0
+    lines = [
+        f"perf gate @ {registry.root} (candidate {report.get('rev', '?')}, "
+        f"window {params.window}, k={params.k_sigma:g})"
+    ]
+    for check in checks:
+        verdict = "FAIL" if check.failed else "PASS"
+        detail = f"{_si(check.candidate * calibration):>8} uops/s"
+        if check.predicted is not None and check.band is not None:
+            low = (check.predicted - check.band) * calibration
+            detail += (f"  vs fit {_si(check.predicted * calibration)}"
+                       f" (floor {_si(low)})")
+        detail += f"  n={check.history}"
+        if check.notes:
+            detail += f"  [{'; '.join(check.notes)}]"
+        lines.append(
+            f"  {verdict} {_short(check.phase):<10} "
+            f"{check.status:<10} {detail}"
+        )
+    failed = [check for check in checks if check.failed]
+    if failed:
+        names = ", ".join(_short(check.phase) for check in failed)
+        lines.append(f"gate: FAIL ({len(failed)} of {len(checks)} "
+                     f"phases regressed: {names})")
+    else:
+        lines.append(f"gate: PASS ({len(checks)} phases within "
+                     "their fitted bands)")
+    return "\n".join(lines)

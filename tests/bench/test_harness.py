@@ -1,6 +1,7 @@
 """Tests for the ``repro bench`` harness and its regression gate."""
 
 import json
+import subprocess
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.bench import (
     run_bench,
     write_report,
 )
+from repro.bench.harness import _git_rev
 from repro.harness.runner import FRONTEND_KINDS
 
 
@@ -21,8 +23,11 @@ def _tiny_report(**kwargs):
 class TestRunBench:
     def test_report_shape(self):
         report = _tiny_report()
-        assert report["schema"] == 2
+        assert report["schema"] == 3
         assert report["quick"] is True
+        # Schema 3: every report is stamped with a UTC ISO timestamp.
+        assert "T" in report["timestamp"]
+        assert report["timestamp"].endswith("+00:00")
         assert report["calibration_ops_per_sec"] > 0
         phases = report["phases"]
         assert set(phases) == {"trace_gen", "frontend_xbc"}
@@ -51,6 +56,69 @@ class TestRunBench:
         rendered = format_report(report)
         assert "trace_gen" in rendered
         assert "frontend_xbc" in rendered
+
+    def test_write_report_records_into_registry(self, tmp_path):
+        """``write_report(..., registry_dir=...)`` also extends the
+        perf registry (the `repro bench --registry` path)."""
+        from repro.perf.registry import PerfRegistry
+
+        report = {
+            "schema": 3,
+            "rev": "abc1234",
+            "calibration_ops_per_sec": 5e6,
+            "phases": {"frontend_xbc": {
+                "seconds": 0.5, "uops": 450_000,
+                "uops_per_sec": 900_000.0,
+            }},
+        }
+        registry_dir = str(tmp_path / "registry")
+        write_report(report, str(tmp_path), registry_dir=registry_dir)
+        registry = PerfRegistry(registry_dir)
+        assert registry.revs() == ["abc1234"]
+        entry = registry.load("abc1234")
+        assert entry["phases"]["frontend_xbc"]["calibrated"] == \
+            pytest.approx(900_000.0 / 5e6)
+
+
+class TestGitRev:
+    """The dirty-tree marker: registry entries must never attribute
+    numbers from a modified working tree to the clean rev."""
+
+    @pytest.fixture
+    def git_repo(self, tmp_path, monkeypatch):
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=str(tmp_path), check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("config", "user.email", "bench@test")
+        git("config", "user.name", "bench")
+        (tmp_path / "file.txt").write_text("v1\n")
+        git("add", "file.txt")
+        git("commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_clean_tree_plain_rev(self, git_repo):
+        rev = _git_rev()
+        assert rev != "unknown"
+        assert not rev.endswith("-dirty")
+
+    def test_uncommitted_change_appends_dirty(self, git_repo):
+        (git_repo / "file.txt").write_text("v2\n")
+        assert _git_rev().endswith("-dirty")
+
+    def test_untracked_file_appends_dirty(self, git_repo):
+        (git_repo / "new.txt").write_text("x\n")
+        assert _git_rev().endswith("-dirty")
+
+    def test_outside_a_repo_is_unknown(self, tmp_path, monkeypatch):
+        outside = tmp_path / "not-a-repo"
+        outside.mkdir()
+        monkeypatch.chdir(outside)
+        assert _git_rev() == "unknown"
 
 
 class TestResolvePhases:
@@ -81,6 +149,16 @@ class TestResolvePhases:
     def test_unknown_token_raises(self):
         with pytest.raises(ValueError, match="unknown bench phase"):
             resolve_phases(["tc", "bogus"])
+
+    def test_unknown_token_error_lists_valid_tokens(self):
+        """The error must name every valid phase so a typo'd --phases
+        cannot silently bench an unintended subset."""
+        with pytest.raises(ValueError) as excinfo:
+            resolve_phases(["bogus"])
+        message = str(excinfo.value)
+        assert "bogus" in message
+        for token in ("trace_gen",) + tuple(FRONTEND_KINDS):
+            assert token in message
 
 
 class TestRegressionGate:

@@ -1,0 +1,47 @@
+"""Shared fixtures for the perf-registry tests: synthetic bench
+reports in every schema the registry must ingest."""
+
+import pytest
+
+
+def make_report(rev, *, schema=3, calibration=5e6, phases=None,
+                timestamp="2026-08-07T00:00:00+00:00", quick=False):
+    """A minimal-but-valid bench report dict.
+
+    *phases* maps phase name to uops/s; seconds/uops are derived so
+    the dict shapes match what the harness writes.
+    """
+    phases = phases or {"frontend_xbc": 600_000.0}
+    report = {
+        "schema": schema,
+        "rev": rev,
+        "python": "3.11.7",
+        "implementation": "CPython",
+        "platform": "Linux-test",
+        "cpu_count": 1,
+        "budget_uops": 60_000 if quick else 150_000,
+        "quick": quick,
+        "suites": ["specint"] if quick else ["specint", "games", "sysmark"],
+        "repeats": 2 if quick else 3,
+        "calibration_ops_per_sec": calibration,
+        "peak_rss_kb": 50_000,
+        "phases": {
+            name: {
+                "seconds": round(450_000 / ups, 6),
+                "uops": 450_000,
+                "uops_per_sec": ups,
+            }
+            for name, ups in phases.items()
+        },
+    }
+    if schema >= 2:
+        report["cpu_affinity"] = 1
+        report["phase_list"] = list(phases)
+    if schema >= 3:
+        report["timestamp"] = timestamp
+    return report
+
+
+@pytest.fixture
+def report_factory():
+    return make_report

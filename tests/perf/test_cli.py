@@ -1,0 +1,297 @@
+"""End-to-end tests for the ``repro perf`` command family.
+
+Everything goes through :func:`repro.cli.main` so argument wiring,
+dispatch and exit codes are covered, with registries under tmp_path.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.perf.detect import check_report
+from repro.perf.registry import PerfRegistry
+
+from tests.perf.conftest import make_report
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+def write_json(path, document):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return str(path)
+
+
+@pytest.fixture
+def registry_dir(tmp_path):
+    return str(tmp_path / "registry")
+
+
+def seed_stationary(registry_dir, tmp_path, *, count=8, jitter=0.02,
+                    seed=17):
+    """Record *count* stationary-throughput revs into the registry."""
+    rng = random.Random(seed)
+    registry = PerfRegistry(registry_dir)
+    for i in range(count):
+        scale = 1.0 + rng.uniform(-jitter, jitter)
+        registry.add(make_report(
+            f"rev{i:02d}",
+            phases={"frontend_xbc": 600_000.0 * scale,
+                    "frontend_tc": 3_000_000.0 * scale},
+        ))
+    return registry
+
+
+class TestAddAndImport:
+    def test_import_legacy_reports_in_order(self, registry_dir, tmp_path,
+                                            capsys):
+        r1 = write_json(tmp_path / "b1.json",
+                        make_report("aaa1111", schema=1))
+        r2 = write_json(tmp_path / "b2.json",
+                        make_report("bbb2222", schema=2))
+        rc = main(["perf", "import", r1, r2, "--registry", registry_dir])
+        assert rc == 0
+        assert PerfRegistry(registry_dir).revs() == ["aaa1111", "bbb2222"]
+        out = capsys.readouterr().out
+        assert "source schema 1" in out and "source schema 2" in out
+
+    def test_add_single_report(self, registry_dir, tmp_path):
+        path = write_json(tmp_path / "b.json", make_report("ccc3333"))
+        assert main(["perf", "add", path,
+                     "--registry", registry_dir]) == 0
+        assert PerfRegistry(registry_dir).revs() == ["ccc3333"]
+
+    def test_committed_bench_reports_import(self, registry_dir):
+        """The issue's migration path: both committed BENCH files."""
+        rc = main([
+            "perf", "import",
+            os.path.join(REPO_ROOT, "BENCH_1a5af1c.json"),
+            os.path.join(REPO_ROOT, "BENCH_f876e2a.json"),
+            "--registry", registry_dir,
+        ])
+        assert rc == 0
+        assert PerfRegistry(registry_dir).revs() == ["1a5af1c", "f876e2a"]
+
+
+class TestLog:
+    def test_log_renders_trajectory(self, registry_dir, tmp_path, capsys):
+        seed_stationary(registry_dir, tmp_path, count=3)
+        assert main(["perf", "log", "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "rev00" in out and "rev02" in out
+        assert "xbc" in out and "tc" in out
+        assert "%" in out  # deltas between consecutive revs
+
+    def test_log_phase_filter_short_names(self, registry_dir, tmp_path,
+                                          capsys):
+        seed_stationary(registry_dir, tmp_path, count=2)
+        assert main(["perf", "log", "--phases", "tc",
+                     "--registry", registry_dir]) == 0
+        out = capsys.readouterr().out
+        assert "tc" in out and "xbc" not in out
+
+    def test_log_unknown_phase_errors_with_valid_list(self, registry_dir,
+                                                      tmp_path, capsys):
+        seed_stationary(registry_dir, tmp_path, count=2)
+        rc = main(["perf", "log", "--phases", "bogus",
+                   "--registry", registry_dir])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "bogus" in err and "xbc" in err
+
+    def test_log_empty_registry(self, registry_dir, capsys):
+        assert main(["perf", "log", "--registry", registry_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_committed_registry_renders_both_revs(self, capsys):
+        """Acceptance: per-phase calibrated output from the seeded
+        committed registry."""
+        committed = os.path.join(REPO_ROOT, "benchmarks", "registry")
+        assert main(["perf", "log", "--registry", committed]) == 0
+        out = capsys.readouterr().out
+        assert "1a5af1c" in out and "f876e2a" in out
+        for phase in ("trace_gen", "ic", "dc", "tc", "xbc", "bbtc"):
+            assert phase in out
+
+
+class TestDiff:
+    def test_diff_reports_delta_and_significance(self, registry_dir,
+                                                 tmp_path, capsys):
+        registry = seed_stationary(registry_dir, tmp_path, count=6)
+        registry.add(make_report(
+            "fast", phases={"frontend_xbc": 1_200_000.0,
+                            "frontend_tc": 3_000_000.0}))
+        rc = main(["perf", "diff", "rev00", "fast",
+                   "--registry", registry_dir])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "+" in out
+        assert "* >2 sigma" in out          # the doubled xbc phase
+        assert "~ within noise" in out      # the unchanged tc phase
+
+    def test_diff_unknown_rev_fails_cleanly(self, registry_dir, tmp_path,
+                                            capsys):
+        seed_stationary(registry_dir, tmp_path, count=2)
+        rc = main(["perf", "diff", "rev00", "nope",
+                   "--registry", registry_dir])
+        assert rc == 1
+        assert "nope" in capsys.readouterr().err
+
+    def test_committed_registry_diff(self, capsys):
+        committed = os.path.join(REPO_ROOT, "benchmarks", "registry")
+        rc = main(["perf", "diff", "1a5af1c", "f876e2a",
+                   "--registry", committed])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1a5af1c -> f876e2a" in out
+        assert "tc" in out and "%" in out
+
+
+class TestGate:
+    def test_gate_fails_on_injected_regression(self, registry_dir,
+                                               tmp_path, capsys):
+        seed_stationary(registry_dir, tmp_path)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123",
+                        phases={"frontend_xbc": 450_000.0,      # -25%
+                                "frontend_tc": 3_010_000.0}),
+        )
+        rc = main(["perf", "gate", "--report", candidate,
+                   "--registry", registry_dir])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAIL xbc" in out and "step" in out
+        assert "PASS tc" in out
+        assert "gate: FAIL" in out
+
+    def test_gate_passes_noisy_stationary_candidate(self, registry_dir,
+                                                    tmp_path, capsys):
+        seed_stationary(registry_dir, tmp_path, jitter=0.10, count=10)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123",
+                        phases={"frontend_xbc": 600_000.0 * 0.92,
+                                "frontend_tc": 3_000_000.0 * 1.08}),
+        )
+        rc = main(["perf", "gate", "--report", candidate,
+                   "--registry", registry_dir])
+        assert rc == 0
+        assert "gate: PASS" in capsys.readouterr().out
+
+    def test_gate_add_records_candidate(self, registry_dir, tmp_path,
+                                        capsys):
+        seed_stationary(registry_dir, tmp_path)
+        candidate = write_json(tmp_path / "cand.json",
+                               make_report("cand123"))
+        rc = main(["perf", "gate", "--report", candidate, "--add",
+                   "--registry", registry_dir])
+        assert rc == 0
+        assert PerfRegistry(registry_dir).revs()[-1] == "cand123"
+
+    def test_gate_add_records_even_a_failing_candidate(self, registry_dir,
+                                                       tmp_path):
+        seed_stationary(registry_dir, tmp_path)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123", phases={"frontend_xbc": 100.0,
+                                           "frontend_tc": 100.0}),
+        )
+        rc = main(["perf", "gate", "--report", candidate, "--add",
+                   "--registry", registry_dir])
+        assert rc == 1
+        assert "cand123" in PerfRegistry(registry_dir).revs()
+
+    def test_gate_empty_registry_passes(self, registry_dir, tmp_path,
+                                        capsys):
+        candidate = write_json(tmp_path / "cand.json",
+                               make_report("cand123"))
+        rc = main(["perf", "gate", "--report", candidate,
+                   "--registry", registry_dir])
+        assert rc == 0
+        assert "no-history" in capsys.readouterr().out
+
+    def test_gate_calibration_rescue(self, registry_dir, tmp_path):
+        """Half-speed machine at half throughput is NOT a regression."""
+        seed_stationary(registry_dir, tmp_path)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123", calibration=2.5e6,
+                        phases={"frontend_xbc": 300_000.0,
+                                "frontend_tc": 1_500_000.0}),
+        )
+        assert main(["perf", "gate", "--report", candidate,
+                     "--registry", registry_dir]) == 0
+
+    def test_gate_calibration_exposes_real_regression(self, registry_dir,
+                                                      tmp_path):
+        """Same machine speed, -25% throughput IS a regression."""
+        seed_stationary(registry_dir, tmp_path)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123",
+                        phases={"frontend_xbc": 450_000.0,
+                                "frontend_tc": 2_250_000.0}),
+        )
+        assert main(["perf", "gate", "--report", candidate,
+                     "--registry", registry_dir]) == 1
+
+
+class TestCheckReportPlumbing:
+    def test_own_rev_excluded_from_history(self, registry_dir, tmp_path):
+        registry = seed_stationary(registry_dir, tmp_path)
+        # Record a terrible run for rev07, then gate the same rev with
+        # good numbers: its own entry must not drag the fit down.
+        registry.add(make_report("rev07",
+                                 phases={"frontend_xbc": 1.0,
+                                         "frontend_tc": 1.0}))
+        report = make_report("rev07")
+        checks = check_report(registry, report)
+        assert all(check.history == 7 for check in checks)
+
+    def test_filtered_report_gates_only_its_phases(self, registry_dir,
+                                                   tmp_path):
+        registry = seed_stationary(registry_dir, tmp_path)
+        report = make_report("cand123",
+                             phases={"frontend_tc": 3_000_000.0})
+        checks = check_report(registry, report)
+        assert [check.phase for check in checks] == ["frontend_tc"]
+
+    def test_quick_candidate_ignores_full_run_history(self, registry_dir,
+                                                      tmp_path):
+        """Quick and full benches measure different workloads; a quick
+        candidate must start its own trajectory rather than false-fail
+        against full-run numbers (trace_gen pays fixed per-trace costs
+        that dominate at the quick budget)."""
+        registry = seed_stationary(registry_dir, tmp_path)
+        slow_but_quick = make_report(
+            "cand123", quick=True,
+            phases={"frontend_xbc": 350_000.0,   # -40% vs full runs
+                    "frontend_tc": 1_800_000.0},
+        )
+        checks = check_report(registry, slow_but_quick)
+        assert all(check.status == "no-history" for check in checks)
+        assert not any(check.failed for check in checks)
+
+    def test_quick_candidate_gates_against_quick_history(
+            self, registry_dir, tmp_path):
+        registry = seed_stationary(registry_dir, tmp_path)
+        for i in range(6):
+            registry.add(make_report(
+                f"quick{i}", quick=True,
+                phases={"frontend_xbc": 400_000.0,
+                        "frontend_tc": 2_000_000.0}))
+        regressed = make_report(
+            "cand123", quick=True,
+            phases={"frontend_xbc": 300_000.0,   # -25% vs quick history
+                    "frontend_tc": 2_000_000.0})
+        checks = {check.phase: check
+                  for check in check_report(registry, regressed)}
+        assert checks["frontend_xbc"].failed
+        assert checks["frontend_xbc"].status == "step"
+        assert not checks["frontend_tc"].failed

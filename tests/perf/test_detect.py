@@ -1,0 +1,156 @@
+"""Detector behavior on synthetic per-phase series.
+
+The three load-bearing cases from the issue: an injected 25% step
+regression and a gradual drift must be flagged, while a noisy
+stationary series (±10% jitter) must pass.
+"""
+
+import random
+
+import pytest
+
+from repro.perf.detect import (
+    DetectorParams,
+    check_series,
+    series_sigma,
+    theil_sen,
+)
+
+
+def jittered(level, jitter, count, seed):
+    rng = random.Random(seed)
+    return [level * (1.0 + rng.uniform(-jitter, jitter))
+            for _ in range(count)]
+
+
+class TestTheilSen:
+    def test_exact_line(self):
+        values = [2.0 + 0.5 * i for i in range(8)]
+        slope, intercept = theil_sen(values)
+        assert slope == pytest.approx(0.5)
+        assert intercept == pytest.approx(2.0)
+
+    def test_single_outlier_does_not_tilt_the_fit(self):
+        values = [1.0] * 9 + [10.0] + [1.0] * 9
+        slope, _ = theil_sen(values)
+        assert abs(slope) < 0.01
+
+    def test_single_point(self):
+        assert theil_sen([3.0]) == (0.0, 3.0)
+
+
+class TestStepRegression:
+    def test_injected_25pct_step_is_flagged(self):
+        history = jittered(1.0, 0.02, 12, seed=7)
+        check = check_series(history, 0.75)
+        assert check.failed
+        assert check.status == "step"
+
+    def test_step_on_perfectly_flat_series(self):
+        check = check_series([1.0] * 10, 0.75)
+        assert check.failed and check.status == "step"
+
+    def test_small_dip_within_band_passes(self):
+        history = jittered(1.0, 0.05, 12, seed=3)
+        check = check_series(history, 0.93)
+        assert not check.failed
+
+    def test_improvement_is_reported_not_failed(self):
+        history = jittered(1.0, 0.02, 12, seed=11)
+        check = check_series(history, 1.5)
+        assert not check.failed
+        assert check.status == "improved"
+
+    def test_step_after_an_improvement_trend(self):
+        """History that climbed then a candidate back at the old level:
+        the fit projects the climb, so the give-back is flagged."""
+        history = [1.0 + 0.1 * i for i in range(10)]
+        check = check_series(history, 1.0)
+        assert check.failed and check.status == "step"
+
+
+class TestDriftRegression:
+    def test_gradual_drift_is_flagged(self):
+        values = [1.0 * (0.975 ** i) for i in range(12)]
+        check = check_series(values[:-1], values[-1])
+        assert check.failed
+        assert check.status == "drift"
+
+    def test_slow_leak_below_step_band_still_caught(self):
+        # 2% per entry never trips the 5%-floor step band on any single
+        # rev, but compounds to ~20% across the window.
+        values = [1.0 - 0.02 * i for i in range(12)]
+        check = check_series(values[:-1], values[-1])
+        assert check.failed and check.status == "drift"
+
+    def test_stationary_series_is_not_drift(self):
+        history = jittered(1.0, 0.02, 12, seed=5)
+        check = check_series(history, 1.0)
+        assert not check.failed
+
+
+class TestNoisyStationarySeries:
+    def test_pm10pct_jitter_passes(self):
+        values = jittered(1.0, 0.10, 13, seed=42)
+        check = check_series(values[:-1], values[-1])
+        assert not check.failed
+
+    def test_pm10pct_jitter_passes_at_every_suffix(self):
+        """Replaying the series point by point never trips the gate —
+        the band adapts to the series' own noise."""
+        values = jittered(1.0, 0.10, 20, seed=1234)
+        for end in range(1, len(values)):
+            check = check_series(values[:end], values[end])
+            assert not check.failed, (end, check)
+
+
+class TestColdStart:
+    def test_no_history_passes(self):
+        check = check_series([], 1.0)
+        assert not check.failed
+        assert check.status == "no-history"
+
+    def test_short_history_uses_median_ratio(self):
+        check = check_series([1.0, 1.02], 0.8)
+        assert not check.failed
+        assert check.status == "cold-ok"
+
+    def test_short_history_flags_large_drop(self):
+        check = check_series([1.0, 1.02, 0.98], 0.6)
+        assert check.failed
+        assert check.status == "cold-step"
+
+    def test_cold_tolerance_is_tunable(self):
+        params = DetectorParams(cold_tolerance=0.10)
+        check = check_series([1.0, 1.0], 0.85, params)
+        assert check.failed
+
+
+class TestParams:
+    def test_window_limits_lookback(self):
+        # Ancient bad values outside the window must not widen the band.
+        history = [0.2] * 20 + [1.0] * 10
+        check = check_series(history, 0.75, DetectorParams(window=10))
+        assert check.failed and check.status == "step"
+
+    def test_k_sigma_widens_the_band(self):
+        history = jittered(1.0, 0.05, 12, seed=9)
+        tight = check_series(history, 0.8, DetectorParams(k_sigma=1.0))
+        wide = check_series(history, 0.8, DetectorParams(k_sigma=10.0,
+                                                         min_band=0.01))
+        assert tight.failed and not wide.failed
+
+
+class TestSeriesSigma:
+    def test_needs_three_points(self):
+        assert series_sigma([1.0, 2.0]) is None
+
+    def test_detrended(self):
+        # A clean trend has ~zero residual sigma even though the raw
+        # values spread widely.
+        values = [1.0 + 0.2 * i for i in range(10)]
+        assert series_sigma(values) == pytest.approx(0.0, abs=1e-12)
+
+    def test_jitter_sigma_tracks_amplitude(self):
+        sigma = series_sigma(jittered(1.0, 0.10, 30, seed=2))
+        assert 0.02 < sigma < 0.15

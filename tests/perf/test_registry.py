@@ -1,0 +1,168 @@
+"""Round-trip and schema-migration tests for the perf registry."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.perf.registry import PerfRegistry, calibrated_phases, \
+    normalize_report
+
+from tests.perf.conftest import make_report
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..")
+)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return PerfRegistry(str(tmp_path / "registry"))
+
+
+class TestNormalize:
+    def test_calibrated_is_throughput_over_calibration(self):
+        report = make_report("abc1234", calibration=2e6,
+                             phases={"frontend_tc": 1e6})
+        entry = normalize_report(report)
+        assert entry["phases"]["frontend_tc"]["calibrated"] == \
+            pytest.approx(0.5)
+        assert entry["phases"]["frontend_tc"]["uops_per_sec"] == 1e6
+
+    def test_schema1_report_normalizes(self):
+        report = make_report("abc1234", schema=1)
+        entry = normalize_report(report)
+        assert entry["source_schema"] == 1
+        assert entry["timestamp"] is None  # schema 1 had none
+        assert entry["cpu_affinity"] is None
+
+    def test_schema3_keeps_timestamp(self):
+        entry = normalize_report(make_report("abc1234", schema=3))
+        assert entry["timestamp"] == "2026-08-07T00:00:00+00:00"
+
+    def test_unknown_rev_rejected(self):
+        report = make_report("abc1234")
+        report["rev"] = "unknown"
+        with pytest.raises(ConfigError, match="no usable git rev"):
+            normalize_report(report)
+
+    def test_missing_phases_rejected(self):
+        report = make_report("abc1234")
+        report["phases"] = {}
+        with pytest.raises(ConfigError, match="no phases"):
+            normalize_report(report)
+
+
+class TestRegistryRoundTrip:
+    def test_add_load_round_trip(self, registry):
+        report = make_report("abc1234")
+        entry = registry.add(report)
+        assert registry.revs() == ["abc1234"]
+        assert registry.load("abc1234") == entry
+        # The entry file is plain JSON on disk, keyed by rev.
+        path = registry.entry_path("abc1234")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == entry
+
+    def test_trajectory_order_is_insertion_order(self, registry):
+        for rev in ("r1", "r2", "r3"):
+            registry.add(make_report(rev))
+        assert registry.revs() == ["r1", "r2", "r3"]
+
+    def test_rerecord_replaces_in_place(self, registry):
+        registry.add(make_report("r1", phases={"frontend_xbc": 100.0}))
+        registry.add(make_report("r2"))
+        registry.add(make_report("r1", phases={"frontend_xbc": 200.0}))
+        assert registry.revs() == ["r1", "r2"]
+        assert registry.load("r1")["phases"]["frontend_xbc"][
+            "uops_per_sec"] == 200.0
+
+    def test_load_unknown_rev_names_known(self, registry):
+        registry.add(make_report("r1"))
+        with pytest.raises(ConfigError, match="r1"):
+            registry.load("nope")
+
+    def test_bad_rev_path_rejected(self, registry):
+        with pytest.raises(ConfigError, match="bad revision"):
+            registry.entry_path("../escape")
+
+    def test_empty_registry(self, registry):
+        assert registry.revs() == []
+        assert registry.entries() == []
+        assert registry.phase_names() == []
+
+    def test_series_skips_entries_without_the_phase(self, registry):
+        registry.add(make_report("r1", phases={"frontend_xbc": 100.0,
+                                               "frontend_tc": 300.0}))
+        registry.add(make_report("r2", phases={"frontend_tc": 330.0}))
+        registry.add(make_report("r3", phases={"frontend_xbc": 110.0,
+                                               "frontend_tc": 360.0}))
+        calibration = 5e6
+        assert registry.series("frontend_xbc") == [
+            pytest.approx(100.0 / calibration),
+            pytest.approx(110.0 / calibration),
+        ]
+        assert len(registry.series("frontend_tc")) == 3
+
+    def test_series_quick_filter(self, registry):
+        registry.add(make_report("full1", phases={"frontend_tc": 100.0}))
+        registry.add(make_report("quick1", quick=True,
+                                 phases={"frontend_tc": 80.0}))
+        registry.add(make_report("full2", phases={"frontend_tc": 110.0}))
+        calibration = 5e6
+        assert registry.series("frontend_tc", quick=False) == [
+            pytest.approx(100.0 / calibration),
+            pytest.approx(110.0 / calibration),
+        ]
+        assert registry.series("frontend_tc", quick=True) == [
+            pytest.approx(80.0 / calibration),
+        ]
+        assert len(registry.series("frontend_tc")) == 3
+
+    def test_phase_names_union_first_seen(self, registry):
+        registry.add(make_report("r1", phases={"frontend_xbc": 100.0}))
+        registry.add(make_report("r2", phases={"trace_gen": 50.0,
+                                               "frontend_xbc": 100.0}))
+        assert registry.phase_names() == ["frontend_xbc", "trace_gen"]
+
+
+class TestCommittedReportsIngest:
+    """The two committed BENCH reports (schema 1 and 2) must migrate."""
+
+    @pytest.mark.parametrize("name, schema", [
+        ("BENCH_1a5af1c.json", 1),
+        ("BENCH_f876e2a.json", 2),
+    ])
+    def test_legacy_report_ingests(self, registry, name, schema):
+        path = os.path.join(REPO_ROOT, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert report["schema"] == schema
+        entry = registry.add(report)
+        assert entry["source_schema"] == schema
+        assert set(entry["phases"]) == set(report["phases"])
+        for phase in entry["phases"].values():
+            assert phase["calibrated"] > 0
+
+    def test_committed_registry_matches_committed_reports(self):
+        """The seeded benchmarks/registry must be a faithful ingest."""
+        committed = PerfRegistry(
+            os.path.join(REPO_ROOT, "benchmarks", "registry")
+        )
+        assert committed.revs()[:2] == ["1a5af1c", "f876e2a"]
+        for rev in ("1a5af1c", "f876e2a"):
+            with open(os.path.join(REPO_ROOT, f"BENCH_{rev}.json"),
+                      encoding="utf-8") as handle:
+                assert committed.load(rev) == normalize_report(
+                    json.load(handle)
+                )
+
+
+class TestCalibratedPhases:
+    def test_zero_calibration_falls_back_to_raw(self):
+        report = make_report("abc1234")
+        report["calibration_ops_per_sec"] = 0
+        phases = calibrated_phases(report)
+        assert phases["frontend_xbc"]["calibrated"] == \
+            phases["frontend_xbc"]["uops_per_sec"]
