@@ -12,6 +12,7 @@ forked without correlating with the parent stream.
 from __future__ import annotations
 
 import random
+from math import log
 from typing import List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
@@ -33,15 +34,28 @@ class DeterministicRng:
 
     def __init__(self, seed: int) -> None:
         self.seed = seed
-        self._rng = random.Random(seed)
+        # Materialized on first draw: a Mersenne-Twister init costs ~8us
+        # and the generator forks one substream per function and per
+        # branch behaviour, most of which never draw in a bounded run.
+        self._rng: "random.Random | None" = None
+
+    def _materialize(self) -> random.Random:
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(self.seed)
+        return rng
 
     def reset(self) -> None:
         """Rewind the stream to its initial (seed) state.
 
         Behaviour objects call this so that re-executing a program
-        yields an identical trace.
+        yields an identical trace.  The underlying generator object is
+        reseeded in place rather than replaced, so bound references to
+        it (the executor caches them for inlined draws) stay valid.
+        A never-materialized stream is already in its initial state.
         """
-        self._rng = random.Random(self.seed)
+        if self._rng is not None:
+            self._rng.seed(self.seed)
 
     def fork(self, salt: int) -> "DeterministicRng":
         """Return an independent substream derived from *seed* and *salt*.
@@ -57,23 +71,23 @@ class DeterministicRng:
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
-        return self._rng.random()
+        return (self._rng or self._materialize()).random()
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in the inclusive range [lo, hi]."""
-        return self._rng.randint(lo, hi)
+        return (self._rng or self._materialize()).randint(lo, hi)
 
     def choice(self, seq: Sequence[T]) -> T:
         """Uniform choice from a non-empty sequence."""
-        return self._rng.choice(seq)
+        return (self._rng or self._materialize()).choice(seq)
 
     def shuffle(self, items: List[T]) -> None:
         """Shuffle *items* in place."""
-        self._rng.shuffle(items)
+        (self._rng or self._materialize()).shuffle(items)
 
     def sample(self, seq: Sequence[T], k: int) -> List[T]:
         """Sample *k* distinct items."""
-        return self._rng.sample(seq, k)
+        return (self._rng or self._materialize()).sample(seq, k)
 
     # -- distributions -------------------------------------------------------
 
@@ -83,19 +97,27 @@ class DeterministicRng:
         Block sizes, trip counts and similar "mostly small, sometimes
         large" quantities use this shape; it matches the long-tailed
         basic-block-length statistics reported for IA-32 code.
+
+        Sampled by inverting the geometric CDF, so one uniform draw
+        yields the value regardless of its magnitude (the old
+        draw-per-increment loop consumed O(value) stream positions,
+        dominating generation time for large means).
         """
         if mean <= lo:
             return lo
         p = 1.0 / (mean - lo + 1.0)
-        value = lo
-        while value < hi and self._rng.random() >= p:
-            value += 1
-        return value
+        if p >= 1.0:
+            # mean is within float epsilon of lo: the draw is lo with
+            # probability ~1, and log(1 - p) below would be log(0).
+            return lo
+        u = (self._rng or self._materialize()).random()
+        value = lo + int(log(1.0 - u) / log(1.0 - p))
+        return value if value < hi else hi
 
     def weighted_choice(self, pairs: Sequence[Tuple[T, float]]) -> T:
         """Choose an item given ``(item, weight)`` pairs."""
         total = sum(weight for _, weight in pairs)
-        point = self._rng.random() * total
+        point = (self._rng or self._materialize()).random() * total
         acc = 0.0
         for item, weight in pairs:
             acc += weight

@@ -152,6 +152,28 @@ class Instruction:
         """Address of the sequentially following instruction."""
         return self.ip + self.size
 
+    @classmethod
+    def trusted(
+        cls,
+        ip: int,
+        size: int,
+        kind: "InstrKind",
+        num_uops: int,
+        target: Optional[int] = None,
+    ) -> "Instruction":
+        """Construct without ``__post_init__`` validation.
+
+        For generator-internal use on already-validated shapes: the
+        frozen-dataclass ``__init__`` goes through ``object.__setattr__``
+        per field, which dominates layout time at tens of thousands of
+        instructions.
+        """
+        instr = object.__new__(cls)
+        instr.__dict__.update(
+            ip=ip, size=size, kind=kind, num_uops=num_uops, target=target,
+        )
+        return instr
+
     @property
     def end_ip(self) -> int:
         """Alias of :attr:`ip` — the identity the XBC indexes XBs by."""

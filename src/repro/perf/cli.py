@@ -115,6 +115,10 @@ def add_perf_parser(sub: argparse._SubParsersAction) -> None:
                     "honest")
     gp.add_argument("--out", metavar="DIR", default=None,
                     help="also write BENCH_<rev>.json into DIR")
+    gp.add_argument("--include-dirty", action="store_true",
+                    help="keep registry entries recorded from a dirty "
+                    "working tree (rev suffixed -dirty) in the fit "
+                    "window; excluded by default")
     _add_registry_arg(gp)
     _add_detector_args(gp)
 
@@ -184,7 +188,8 @@ def _perf_gate(registry: PerfRegistry, args: argparse.Namespace) -> int:
 
         path = write_report(report, args.out)
         print(f"[report written to {path}]")
-    checks = check_report(registry, report, params)
+    checks = check_report(registry, report, params,
+                          include_dirty=args.include_dirty)
     print(format_gate(checks, report, registry, params))
     if args.add:
         entry = registry.add(report)

@@ -206,6 +206,7 @@ def check_report(
     registry: "Any",
     report: Dict[str, Any],
     params: DetectorParams = DetectorParams(),
+    include_dirty: bool = False,
 ) -> List[PhaseCheck]:
     """Run the detector for every phase a bench *report* timed.
 
@@ -213,15 +214,23 @@ def check_report(
     PerfRegistry`), restricted to entries measuring the same workload
     class (quick vs full — see :meth:`PerfRegistry.series`); an entry
     for the report's own rev is excluded so gating after ``perf add``
-    does not compare the run to itself.  Phases the report did not
-    time are skipped — filtered ``--phases`` runs gate exactly what
-    they measured.
+    does not compare the run to itself.  Entries recorded from a dirty
+    working tree (rev suffixed ``-dirty``) are excluded from the fit
+    window by default — they measure unreviewed local edits, and one
+    slow scratch run would otherwise tilt the trend every later rev is
+    judged against; pass *include_dirty* to keep them.  Phases the
+    report did not time are skipped — filtered ``--phases`` runs gate
+    exactly what they measured.
     """
     from repro.perf.registry import calibrated_phases
 
     rev = report.get("rev")
     quick = bool(report.get("quick"))
-    entries = [e for e in registry.entries() if e.get("rev") != rev]
+    entries = [
+        e for e in registry.entries()
+        if e.get("rev") != rev
+        and (include_dirty or not str(e.get("rev", "")).endswith("-dirty"))
+    ]
     checks: List[PhaseCheck] = []
     for name, phase in calibrated_phases(report).items():
         history = registry.series(name, entries=entries, quick=quick)

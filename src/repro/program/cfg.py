@@ -38,14 +38,19 @@ class TerminatorKind(enum.Enum):
     @property
     def instr_kind(self) -> InstrKind:
         """The instruction kind this terminator lowers to."""
-        return {
-            TerminatorKind.COND: InstrKind.COND_BRANCH,
-            TerminatorKind.JUMP: InstrKind.JUMP,
-            TerminatorKind.CALL: InstrKind.CALL,
-            TerminatorKind.INDIRECT_CALL: InstrKind.INDIRECT_CALL,
-            TerminatorKind.INDIRECT: InstrKind.INDIRECT_JUMP,
-            TerminatorKind.RET: InstrKind.RETURN,
-        }[self]
+        return _TERM_INSTR_KIND[self]
+
+
+#: Lowering table for :attr:`TerminatorKind.instr_kind` (built once; the
+#: generator consults it per terminator).
+_TERM_INSTR_KIND: Dict[TerminatorKind, InstrKind] = {
+    TerminatorKind.COND: InstrKind.COND_BRANCH,
+    TerminatorKind.JUMP: InstrKind.JUMP,
+    TerminatorKind.CALL: InstrKind.CALL,
+    TerminatorKind.INDIRECT_CALL: InstrKind.INDIRECT_CALL,
+    TerminatorKind.INDIRECT: InstrKind.INDIRECT_JUMP,
+    TerminatorKind.RET: InstrKind.RETURN,
+}
 
 
 @dataclass
@@ -171,6 +176,10 @@ class Program:
         self.name = name
         self.seed = seed
         self._block_by_entry_ip = {b.entry_ip: b.bid for b in blocks.values()}
+        #: True once any execution has advanced behaviour state; lets
+        #: the executor skip the (reseed-everything) reset on a program
+        #: that has never run.
+        self.behaviors_dirty = False
 
     @property
     def entry_block(self) -> LayoutBlock:
@@ -198,6 +207,7 @@ class Program:
             behavior.reset()
         for behavior in self.indirect_behaviors.values():
             behavior.reset()
+        self.behaviors_dirty = False
 
     def describe(self) -> str:
         """One-line summary used by the CLI and examples."""

@@ -21,6 +21,7 @@ into a laid-out :class:`~repro.program.cfg.Program`:
 
 from __future__ import annotations
 
+from math import log
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import GenerationError
@@ -65,6 +66,7 @@ class ProgramGenerator:
         self.profile = profile
         self.seed = seed
         self._rng = DeterministicRng(seed)
+        self._body_thresholds = None
 
     # ------------------------------------------------------------------
     # public API
@@ -460,9 +462,33 @@ class ProgramGenerator:
         """Uop counts of a block's non-branch instructions."""
         p = self.profile
         count = rng.geometric(p.mean_body_instrs, lo=1, hi=p.max_body_instrs)
-        return [
-            rng.weighted_choice(list(p.uops_per_instr)) for _ in range(count)
-        ]
+        # Inlined weighted_choice over p.uops_per_instr with cumulative
+        # thresholds hoisted out of the per-instruction loop; the float
+        # accumulation matches weighted_choice's exactly so the drawn
+        # values (and the RNG stream) are unchanged.
+        thresholds = self._body_thresholds
+        if thresholds is None:
+            total = sum(weight for _, weight in p.uops_per_instr)
+            acc = 0.0
+            pairs = []
+            for item, weight in p.uops_per_instr:
+                acc += weight
+                pairs.append((acc, item))
+            thresholds = (total, tuple(pairs), p.uops_per_instr[-1][0])
+            self._body_thresholds = thresholds
+        total, pairs, last = thresholds
+        rnd = rng._materialize().random
+        out: List[int] = []
+        append = out.append
+        for _ in range(count):
+            point = rnd() * total
+            for acc, item in pairs:
+                if point < acc:
+                    append(item)
+                    break
+            else:
+                append(last)
+        return out
 
     # ------------------------------------------------------------------
     # layout
@@ -478,6 +504,16 @@ class ProgramGenerator:
         """Lower specs to instructions at concrete addresses."""
         rng = self._rng.fork(3)
         # Pass A: draw every instruction's shape, then assign addresses.
+        # The kind/size draws are inlined (weighted_choice and geometric
+        # unrolled with the same float accumulation and draw order, so
+        # the RNG stream is unchanged): this loop runs once per static
+        # instruction and dominates layout time.
+        rnd = rng._materialize().random
+        alu, load, store = InstrKind.ALU, InstrKind.LOAD, InstrKind.STORE
+        kind_total = sum(w for w in (0.55, 0.30, 0.15))
+        t_alu = 0.0 + 0.55
+        t_load = t_alu + 0.30
+        size_inv = 1.0 / log(1.0 - 1.0 / (3.2 - 1 + 1.0))
         body_shapes: Dict[int, List[Tuple[InstrKind, int, int]]] = {}
         entry_ips: Dict[int, int] = {}
         cursor = 0x1000
@@ -485,14 +521,19 @@ class ProgramGenerator:
             for bid in fn.block_bids:
                 spec = specs[bid]
                 shapes = []
+                append = shapes.append
                 for uops in spec.body_uop_counts:
-                    kind = rng.weighted_choice([
-                        (InstrKind.ALU, 0.55),
-                        (InstrKind.LOAD, 0.30),
-                        (InstrKind.STORE, 0.15),
-                    ])
-                    size = rng.geometric(3.2, lo=1, hi=11)
-                    shapes.append((kind, uops, size))
+                    point = rnd() * kind_total
+                    if point < t_alu:
+                        kind = alu
+                    elif point < t_load:
+                        kind = load
+                    else:
+                        kind = store
+                    size = 1 + int(log(1.0 - rnd()) * size_inv)
+                    if size > 11:
+                        size = 11
+                    append((kind, uops, size))
                 body_shapes[bid] = shapes
                 entry_ips[bid] = cursor
                 term_size, _ = _TERMINATOR_SHAPE[spec.terminator]
@@ -511,8 +552,9 @@ class ProgramGenerator:
                 spec = specs[bid]
                 ip = entry_ips[bid]
                 body: List[Instruction] = []
+                trusted = Instruction.trusted
                 for kind, uops, size in body_shapes[bid]:
-                    instr = Instruction(ip=ip, size=size, kind=kind, num_uops=uops)
+                    instr = trusted(ip, size, kind, uops)
                     body.append(instr)
                     image.add(instr)
                     ip += size
@@ -557,12 +599,8 @@ class ProgramGenerator:
             TerminatorKind.COND, TerminatorKind.JUMP, TerminatorKind.CALL
         ):
             target = entry_ips[spec.taken_bid]
-        return Instruction(
-            ip=ip,
-            size=size,
-            kind=spec.terminator.instr_kind,
-            num_uops=uops,
-            target=target,
+        return Instruction.trusted(
+            ip, size, spec.terminator.instr_kind, uops, target
         )
 
     def _attach_behavior(
@@ -574,8 +612,8 @@ class ProgramGenerator:
         indirect_behaviors: Dict[int, IndirectBehavior],
     ) -> None:
         p = self.profile
-        rng = self._rng.fork(10_000 + spec.bid)
         if spec.terminator is TerminatorKind.COND:
+            rng = self._rng.fork(10_000 + spec.bid)
             if spec.cond_class == "backedge":
                 behavior: BranchBehavior = LoopBehavior(
                     mean_trip=rng.geometric(
@@ -593,6 +631,7 @@ class ProgramGenerator:
         elif spec.terminator in (
             TerminatorKind.INDIRECT, TerminatorKind.INDIRECT_CALL
         ):
+            rng = self._rng.fork(10_000 + spec.bid)
             indirect_behaviors[term.ip] = IndirectBehavior(
                 targets=[entry_ips[b] for b in spec.indirect_bids],
                 rng=rng.fork(2),

@@ -258,7 +258,9 @@ class ServeApp:
             "ready": not self.scheduler.draining,
             "queue_depth": self.scheduler.queue_depth,
             "inflight": self.scheduler.inflight,
-            "uptime_seconds": round(time.time() - self.metrics.started, 3),
+            "uptime_seconds": round(
+                time.monotonic() - self.metrics.started, 3
+            ),
         }
 
     def _metrics(self) -> Dict[str, Any]:

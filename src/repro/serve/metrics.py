@@ -62,7 +62,9 @@ class ServiceMetrics:
     """Counters and gauges behind ``GET /metrics``."""
 
     def __init__(self) -> None:
-        self.started = time.time()
+        #: monotonic start mark — uptime must not jump when the wall
+        #: clock is stepped (NTP adjustment, suspend/resume).
+        self.started = time.monotonic()
         #: HTTP surface.
         self.requests_total = 0
         self.responses_by_status: Dict[int, int] = {}
@@ -114,7 +116,7 @@ class ServiceMetrics:
         ups = self.uops_per_sec()
         ratio = self.cache_hit_ratio()
         return {
-            "uptime_seconds": round(time.time() - self.started, 3),
+            "uptime_seconds": round(time.monotonic() - self.started, 3),
             "draining": draining,
             "requests": {
                 "total": self.requests_total,

@@ -67,6 +67,12 @@ class JobEntry:
         self.created = time.time()
         self.started: Optional[float] = None
         self.finished: Optional[float] = None
+        #: monotonic twins of the wall-clock stamps above: the epoch
+        #: fields are API-visible timestamps, but durations (wall_ms,
+        #: job latency) must not jump when the wall clock is stepped.
+        self._mono_created = time.monotonic()
+        self._mono_started: Optional[float] = None
+        self._mono_finished: Optional[float] = None
         self.payload: Any = None     #: encoded result once done
         self.error = ""
         self.cached = False          #: served by the engine result cache
@@ -84,8 +90,10 @@ class JobEntry:
     def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
         """The ``GET /jobs/<id>`` document."""
         wall_ms = None
-        if self.started is not None and self.finished is not None:
-            wall_ms = round((self.finished - self.started) * 1000.0, 3)
+        if self._mono_started is not None and self._mono_finished is not None:
+            wall_ms = round(
+                (self._mono_finished - self._mono_started) * 1000.0, 3
+            )
         payload: Dict[str, Any] = {
             "job_id": self.key,
             "status": self.status,
@@ -164,6 +172,7 @@ class Scheduler:
         for entry in cancelled:
             entry.status = "cancelled"
             entry.finished = time.time()
+            entry._mono_finished = time.monotonic()
             entry.error = "cancelled by server drain"
             self.metrics.jobs_cancelled += 1
             self._publish(entry, {"event": "cancelled"})
@@ -358,6 +367,7 @@ class Scheduler:
         for entry in batch:
             entry.status = "running"
             entry.started = time.time()
+            entry._mono_started = time.monotonic()
             self._publish(entry, {"event": "running"})
 
         def observer(event: Dict[str, Any]) -> None:
@@ -430,6 +440,7 @@ class Scheduler:
         result: Any = None, error: str = "",
     ) -> None:
         entry.finished = time.time()
+        entry._mono_finished = time.monotonic()
         if error:
             entry.status = "failed"
             entry.error = error
@@ -441,7 +452,9 @@ class Scheduler:
             entry.attempts = result.attempts
             entry.payload = entry.job.encode_result(result.value)
             self.metrics.jobs_completed += 1
-            self.metrics.job_latency.record(entry.finished - entry.created)
+            self.metrics.job_latency.record(
+                entry._mono_finished - entry._mono_created
+            )
             self._publish(
                 entry, {"event": "done", "cached": entry.cached}
             )

@@ -76,49 +76,93 @@ class Promoter:
     # ------------------------------------------------------------------
 
     def _try_promote(self, e0: XbtbEntry) -> None:
+        """Attempt promotion, memoizing failures.
+
+        A saturated bias counter retries promotion on every occurrence
+        of the branch, and in a steady hot loop every retry fails the
+        same way.  The attempt is a pure function of the storage
+        content (covered by ``storage.version``), the XBTB population
+        (covered by its allocation/eviction counters), the promotion
+        direction and the followed pointer — so an attempt whose key is
+        unchanged can be skipped outright, replaying only the counter
+        bumps the original failure made.  Successes are never memoized
+        (they change the storage version anyway).
+        """
         direction = e0.bias.monotone_direction()
         ptr1 = e0.pointer_for(direction)
         if ptr1 is None:
             return
+        storage = self.storage
+        xbtb = self.xbtb
+        key = (
+            storage.version,
+            xbtb.allocations,
+            xbtb.evictions,
+            direction,
+            id(ptr1),
+            ptr1.offset,
+        )
+        memo = e0.promo_fail
+        if memo is not None and memo[0] == key:
+            replay = memo[1]
+            if replay == 1:
+                self.stats.bump("promotions_skipped_length")
+            elif replay == 2:
+                storage.placement_failures += 1
+                self.stats.bump("promotions_unplaced")
+            return
+        outcome = self._attempt_promote(e0, direction, ptr1)
+        e0.promo_fail = (key, outcome) if outcome >= 0 else None
+
+    def _attempt_promote(
+        self, e0: XbtbEntry, direction: bool, ptr1
+    ) -> int:
+        """One real promotion attempt.
+
+        Returns -1 on success and a failure code otherwise: 0 for the
+        silent bail-outs, 1 for the skipped-length path, 2 for the
+        unplaceable path (the codes tell :meth:`_try_promote` which
+        counters a memoized replay must reproduce).
+        """
         e1 = self.xbtb.peek(ptr1.xb_ip)
         if e1 is None:
-            return
+            return 0
 
         # Full content of XB0 (its longest live copy).  Lengths are
         # checked first so the usual bail-outs never materialise uops.
         v0 = self._longest_variant(e0)
         if v0 is None:
-            return
+            return 0
         len0 = v0.alive_length(self.storage, e0.xb_ip)
         if len0 is None:
-            return
+            return 0
 
         comb_len = len0 + ptr1.offset
         if comb_len > self.config.max_xb_uops:
             self.stats.bump("promotions_skipped_length")
-            return
+            return 1
 
         v1 = e1.variant_covering(self.storage, ptr1.offset)
         if v1 is None:
-            return
+            return 0
         len1 = v1.alive_length(self.storage, e1.xb_ip)
         if len1 is None or len1 < ptr1.offset:
-            return
+            return 0
         uops0 = v0.read(self.storage, e0.xb_ip)
         uops1 = v1.read(self.storage, e1.xb_ip)
         if uops0 is None or uops1 is None:
-            return
+            return 0
         comb = uops0 + uops1[len(uops1) - ptr1.offset :]
 
         mapping = v1.locate(self.storage, e1.xb_ip)
         if mapping is None:
-            return
+            return 0
         mask = self.storage.add_variant(
             e1.xb_ip, comb, mapping, reuse_len=ptr1.offset, reuse_mask=v1.mask
         )
         if mask is None:
             self.stats.bump("promotions_unplaced")
-            return
+            return 2
         e1.variants.append(XbVariant(
             mask, comb_len, self.storage.last_lines
         ))
@@ -130,6 +174,7 @@ class Promoter:
         # it is now reachable through XBcomb.
         self.storage.age_variant(e0.xb_ip, v0.mask)
         self.stats.bump("promotions")
+        return -1
 
     def _longest_variant(self, entry: XbtbEntry) -> Optional[XbVariant]:
         best: Optional[XbVariant] = None

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional
 
 from repro.branch.bias import BiasCounter
 from repro.common.bitutils import log2_exact
-from repro.isa.instruction import InstrKind
+from repro.isa.instruction import KIND_CODE, InstrKind
 from repro.xbc.config import XbcConfig
 from repro.xbc.pointer import XbPointer
 from repro.xbc.storage import XbcStorage
@@ -80,6 +80,7 @@ class XbtbEntry:
     __slots__ = (
         "xb_ip",
         "end_kind",
+        "end_code",
         "taken_ptr",
         "nt_ptr",
         "bias",
@@ -90,11 +91,16 @@ class XbtbEntry:
         "stamp",
         "_vv_version",
         "_vv_len",
+        "promo_fail",
     )
 
     def __init__(self, xb_ip: int, end_kind: Optional[InstrKind]) -> None:
         self.xb_ip = xb_ip
         self.end_kind = end_kind
+        #: integer mirror of :attr:`end_kind` (-1 for ``None``) — the
+        #: flat delivery loop dispatches on this with one int compare
+        #: instead of enum identity checks.
+        self.end_code = -1 if end_kind is None else KIND_CODE[end_kind]
         #: successor on the taken path (callee XB for calls).
         self.taken_ptr: Optional[XbPointer] = None
         #: fall-through successor (return-successor XB for calls).
@@ -114,6 +120,10 @@ class XbtbEntry:
         #: the storage version and the variant count are unchanged.
         self._vv_version = -1
         self._vv_len = -1
+        #: memo of the last failed promotion attempt: ``(key, code)``
+        #: where *key* captures every input the attempt read (see
+        #: :meth:`repro.xbc.promotion.Promoter._try_promote`).
+        self.promo_fail = None
 
     # ------------------------------------------------------------------
 
@@ -218,6 +228,7 @@ class Xbtb:
             entry.stamp = self._clock
             if entry.end_kind is None and end_kind is not None:
                 entry.end_kind = end_kind
+                entry.end_code = KIND_CODE[end_kind]
             return entry
         if len(entries) >= self.assoc:
             victim = min(entries, key=lambda ip: entries[ip].stamp)

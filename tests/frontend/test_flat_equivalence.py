@@ -24,9 +24,10 @@ from repro.harness.runner import make_frontend
 from repro.tc.config import TcConfig
 from repro.tc.frontend import TcFrontend
 
-#: The frontends rewritten with flat loops (the XBC was done in PR 2
-#: and has no reference switch).
-FLAT_KINDS = ("ic", "dc", "tc", "bbtc")
+#: The frontends rewritten with flat loops; the XBC joined with its
+#: own packed-array rewrite (unit-less delivery + combined-XB fast
+#: path) behind the same reference switch.
+FLAT_KINDS = ("ic", "dc", "tc", "bbtc", "xbc")
 
 SUITES = ("specint", "sysmark", "games")
 
@@ -107,3 +108,58 @@ class TestDispatch:
         monkeypatch.delenv("REPRO_REFERENCE_FRONTEND", raising=False)
         frontend = make_frontend("bbtc", FrontendConfig())
         assert frontend.run(small_trace) == frontend.run(small_trace)
+
+
+class TestXbcFlatPath:
+    """XBC-specific differential coverage beyond the shared matrix."""
+
+    def test_warm_rerun_identical(self, suite_traces, monkeypatch):
+        """Re-running a frontend leaves trace-derived memos (columns,
+        rev tuples, XB stream) warm; the second run must still match
+        the reference bit for bit, and itself."""
+        trace = suite_traces["specint"]
+        monkeypatch.delenv("REPRO_REFERENCE_FRONTEND", raising=False)
+        flat_fe = make_frontend("xbc", FrontendConfig())
+        flat_cold = flat_fe.run(trace)
+        flat_warm = flat_fe.run(trace)
+        monkeypatch.setenv("REPRO_REFERENCE_FRONTEND", "1")
+        ref_fe = make_frontend("xbc", FrontendConfig())
+        ref_cold = ref_fe.run(trace)
+        ref_warm = ref_fe.run(trace)
+        assert flat_cold == ref_cold
+        assert flat_warm == ref_warm
+        assert flat_cold == flat_warm  # per-run structures: deterministic
+
+    @pytest.mark.parametrize("suite", ("specint", "sysmark"))
+    def test_storage_churn_keeps_memos_sound(self, suite, suite_traces,
+                                             monkeypatch):
+        """Heavy-eviction regression test for the id()-keyed memos.
+
+        A tiny data array (512 uops) keeps the storage churning:
+        constant evictions and refills recycle trimmed rev-tuples from
+        partial fetches, which are exactly the objects whose id() the
+        probe/rev memos key on.  Without the strong-reference pins a
+        freed tuple's address can be reused by a different tuple and
+        silently alias a memo entry; flat and reference must stay
+        bit-identical (and cycle-log identical) under this load.
+        """
+        from repro.xbc.config import XbcConfig
+
+        trace = suite_traces[suite]
+        results = {}
+        for label, env in (("flat", None), ("ref", "1")):
+            if env is None:
+                monkeypatch.delenv("REPRO_REFERENCE_FRONTEND",
+                                   raising=False)
+            else:
+                monkeypatch.setenv("REPRO_REFERENCE_FRONTEND", env)
+            frontend = make_frontend(
+                "xbc", FrontendConfig(),
+                xbc_config=XbcConfig(total_uops=512),
+            )
+            log = []
+            stats = frontend.run(trace, cycle_log=log)
+            results[label] = (stats, log)
+        assert results["flat"][0] == results["ref"][0]
+        assert results["flat"][1] == results["ref"][1]
+        assert sum(results["flat"][1]) == trace.total_uops

@@ -295,3 +295,36 @@ class TestCheckReportPlumbing:
         assert checks["frontend_xbc"].failed
         assert checks["frontend_xbc"].status == "step"
         assert not checks["frontend_tc"].failed
+
+
+class TestGateDirtyRevs:
+    def _seed_with_dirty(self, registry_dir):
+        registry = PerfRegistry(registry_dir)
+        for i in range(6):
+            registry.add(make_report(
+                f"clean{i}", phases={"frontend_xbc": 600_000.0}))
+        for i in range(6):
+            registry.add(make_report(
+                f"scratch{i}-dirty",
+                phases={"frontend_xbc": 6_000_000.0}))
+
+    def test_gate_ignores_dirty_history_by_default(self, registry_dir,
+                                                   tmp_path):
+        self._seed_with_dirty(registry_dir)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123", phases={"frontend_xbc": 600_000.0}),
+        )
+        rc = main(["perf", "gate", "--report", candidate,
+                   "--registry", registry_dir])
+        assert rc == 0
+
+    def test_gate_include_dirty_flag(self, registry_dir, tmp_path):
+        self._seed_with_dirty(registry_dir)
+        candidate = write_json(
+            tmp_path / "cand.json",
+            make_report("cand123", phases={"frontend_xbc": 600_000.0}),
+        )
+        rc = main(["perf", "gate", "--report", candidate,
+                   "--include-dirty", "--registry", registry_dir])
+        assert rc == 1  # the scratch runs poison the trend again

@@ -154,3 +154,65 @@ class TestSeriesSigma:
     def test_jitter_sigma_tracks_amplitude(self):
         sigma = series_sigma(jittered(1.0, 0.10, 30, seed=2))
         assert 0.02 < sigma < 0.15
+
+
+class TestDirtyRevExclusion:
+    """Scratch runs recorded from a dirty tree must not steer the fit."""
+
+    def _seeded(self, tmp_path):
+        from repro.perf.registry import PerfRegistry
+
+        from tests.perf.conftest import make_report
+
+        registry = PerfRegistry(str(tmp_path / "registry"))
+        for i in range(6):
+            registry.add(make_report(
+                f"clean{i}", phases={"frontend_xbc": 600_000.0}))
+        # Scratch runs from an uncommitted experiment, 10x faster; if
+        # they enter the window, every honest later rev looks like a
+        # step regression.
+        for i in range(6):
+            registry.add(make_report(
+                f"scratch{i}-dirty",
+                phases={"frontend_xbc": 6_000_000.0}))
+        return registry
+
+    def test_dirty_revs_excluded_by_default(self, tmp_path):
+        from repro.perf.detect import check_report
+
+        from tests.perf.conftest import make_report
+
+        registry = self._seeded(tmp_path)
+        candidate = make_report(
+            "cand123", phases={"frontend_xbc": 600_000.0})
+        checks = check_report(registry, candidate)
+        assert len(checks) == 1
+        assert not checks[0].failed
+        assert checks[0].history == 6  # only the clean revs
+
+    def test_include_dirty_restores_old_behavior(self, tmp_path):
+        from repro.perf.detect import check_report
+
+        from tests.perf.conftest import make_report
+
+        registry = self._seeded(tmp_path)
+        candidate = make_report(
+            "cand123", phases={"frontend_xbc": 600_000.0})
+        checks = check_report(registry, candidate, include_dirty=True)
+        assert checks[0].history == 12
+        assert checks[0].failed  # poisoned trend flags the honest rev
+
+    def test_all_dirty_history_falls_back_to_no_history(self, tmp_path):
+        from repro.perf.detect import check_report
+        from repro.perf.registry import PerfRegistry
+
+        from tests.perf.conftest import make_report
+
+        registry = PerfRegistry(str(tmp_path / "registry"))
+        registry.add(make_report(
+            "wip-dirty", phases={"frontend_xbc": 600_000.0}))
+        candidate = make_report(
+            "cand123", phases={"frontend_xbc": 100.0})
+        checks = check_report(registry, candidate)
+        assert checks[0].status == "no-history"
+        assert not checks[0].failed

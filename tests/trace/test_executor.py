@@ -107,3 +107,47 @@ class TestErrorPaths:
         )
         with pytest.raises(SimulationError):
             TraceExecutor(broken).run(max_uops=10_000)
+
+
+class TestInstructionCapBoundaries:
+    """The max_instructions cap is exact, not block-granular."""
+
+    def test_cap_is_exact(self, program):
+        trace = TraceExecutor(program).run(
+            max_uops=10**9, max_instructions=500
+        )
+        assert len(trace) == 500
+
+    def test_cap_of_one(self, program):
+        trace = TraceExecutor(program).run(
+            max_uops=10**9, max_instructions=1
+        )
+        assert len(trace) == 1
+
+    def test_capped_trace_is_prefix_of_uncapped(self, program):
+        full = TraceExecutor(program).run(max_uops=20_000)
+        n = len(full) // 2
+        capped = TraceExecutor(program).run(
+            max_uops=10**9, max_instructions=n
+        )
+        assert len(capped) == n
+        assert capped.ips == full.ips[:n]
+        assert capped.kinds == full.kinds[:n]
+        assert capped.takens == full.takens[:n]
+        assert capped.next_ips == full.next_ips[:n]
+        assert capped.nuops == full.nuops[:n]
+
+    def test_uop_budget_still_binds_with_loose_cap(self, program):
+        trace = TraceExecutor(program).run(
+            max_uops=5000, max_instructions=10**9
+        )
+        assert 5000 <= trace.total_uops < 5100
+
+    def test_cap_at_the_budget_stop_changes_nothing(self, program):
+        plain = TraceExecutor(program).run(max_uops=5000)
+        capped = TraceExecutor(program).run(
+            max_uops=5000, max_instructions=len(plain)
+        )
+        assert len(capped) == len(plain)
+        assert capped.ips == plain.ips
+        assert capped.total_uops == plain.total_uops
