@@ -21,15 +21,22 @@ from repro.bench.harness import (
     run_bench,
     write_report,
 )
-from repro.bench.serve import format_serve_bench, run_serve_bench
+from repro.bench.serve import (
+    format_serve_bench,
+    format_serve_load,
+    run_serve_bench,
+    run_serve_load,
+)
 
 __all__ = [
     "REGRESSION_TOLERANCE",
     "compare_to_baseline",
     "format_report",
     "format_serve_bench",
+    "format_serve_load",
     "resolve_phases",
     "run_bench",
     "run_serve_bench",
+    "run_serve_load",
     "write_report",
 ]

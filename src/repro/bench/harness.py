@@ -33,13 +33,24 @@ REGRESSION_TOLERANCE = 0.30
 #: 2: added ``phase_list`` and ``cpu_affinity``; phases are filterable.
 #: 3: added ``timestamp`` (UTC ISO-8601); ``rev`` carries a ``-dirty``
 #:    suffix when the working tree has uncommitted changes.
-SCHEMA = 3
+#: 4: added the ``serve_load`` phase token and report section; a
+#:    ``serve_load_w<N>`` phase entry per worker-count stage (with an
+#:    embedded ``tolerance``, saturation numbers are noisier than
+#:    in-process timing); trace generation is skipped entirely when no
+#:    simulation phase is selected.
+SCHEMA = 4
 
 _BENCH_SUITES = ("specint", "games", "sysmark")
 _QUICK_SUITES = ("specint",)
 
-#: The non-frontend phase name accepted by the ``phases`` filter.
+#: The non-frontend phase names accepted by the ``phases`` filter.
 _TRACE_GEN_PHASE = "trace_gen"
+_SERVE_LOAD_PHASE = "serve_load"
+
+#: Gate tolerance embedded in ``serve_load_w<N>`` phase entries:
+#: end-to-end saturation throughput over HTTP on a shared CI box has
+#: far more variance than best-of-N in-process loops.
+SERVE_LOAD_TOLERANCE = 0.60
 
 
 def _cpu_affinity() -> Optional[int]:
@@ -126,28 +137,36 @@ def _time_best(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
 def resolve_phases(
     phases: Optional[List[str]],
     frontends: Optional[List[str]] = None,
-) -> Tuple[bool, List[str]]:
-    """Resolve the phase filter to (time trace_gen?, frontend kinds).
+) -> Tuple[bool, List[str], bool]:
+    """Resolve the phase filter to
+    (time trace_gen?, frontend kinds, run serve_load?).
 
     *phases* holds tokens from ``--phases`` (frontend kinds plus
-    ``trace_gen``); *frontends* is the legacy ``--frontend`` filter.
-    Both absent means everything runs; both present intersect.
+    ``trace_gen`` and ``serve_load``); *frontends* is the legacy
+    ``--frontend`` filter.  Both absent means every simulation phase
+    runs (``serve_load`` is opt-in — it stands up real server
+    processes); both present intersect.
     """
     kinds = list(frontends) if frontends else list(FRONTEND_KINDS)
     if phases is None:
-        return True, kinds
+        return True, kinds, False
     tokens = [token.strip() for token in phases if token.strip()]
+    special = (_TRACE_GEN_PHASE, _SERVE_LOAD_PHASE)
     unknown = [
         token for token in tokens
-        if token != _TRACE_GEN_PHASE and token not in FRONTEND_KINDS
+        if token not in special and token not in FRONTEND_KINDS
     ]
     if unknown:
-        valid = ", ".join((_TRACE_GEN_PHASE,) + tuple(FRONTEND_KINDS))
+        valid = ", ".join(special + tuple(FRONTEND_KINDS))
         raise ValueError(
             f"unknown bench phase(s) {', '.join(unknown)}; expected {valid}"
         )
     selected = [kind for kind in kinds if kind in tokens]
-    return _TRACE_GEN_PHASE in tokens, selected
+    return (
+        _TRACE_GEN_PHASE in tokens,
+        selected,
+        _SERVE_LOAD_PHASE in tokens,
+    )
 
 
 def run_bench(
@@ -156,27 +175,44 @@ def run_bench(
     frontends: Optional[List[str]] = None,
     profile_path: Optional[str] = None,
     phases: Optional[List[str]] = None,
+    serve_load: bool = False,
+    load_clients: int = 16,
+    load_duration: float = 4.0,
+    load_workers: Optional[List[int]] = None,
 ) -> dict:
     """Run the benchmark suite and return the report dict.
 
     *budget* is the dynamic trace length in uops.  ``quick=True``
     shrinks the budget and suite list for CI smoke use.  *phases*
-    restricts what is timed (frontend kinds and/or ``trace_gen``);
-    trace generation still happens — untimed — when filtered out,
-    because every frontend phase consumes its traces.  When
+    restricts what is timed (frontend kinds, ``trace_gen`` and/or
+    ``serve_load``); trace generation still happens — untimed — when
+    filtered out but frontend phases run, because every frontend
+    phase consumes its traces; it is skipped entirely when no
+    simulation phase is selected (a pure ``serve_load`` run).  When
     *profile_path* is set, the ``xbc`` phase additionally runs once
     under :mod:`cProfile` and the stats are dumped there.
+
+    ``serve_load=True`` (or a ``serve_load`` phase token) also runs
+    the saturation load harness (:func:`repro.bench.serve
+    .run_serve_load`) with *load_clients* concurrent clients for
+    *load_duration* seconds per worker-count stage in *load_workers*;
+    each stage lands in the report both as the ``serve_load`` section
+    and as a ``serve_load_w<N>`` phase entry the perf registry
+    ingests like any other phase.
     """
     if quick:
         budget = min(budget, 60_000)
     suites = _QUICK_SUITES if quick else _BENCH_SUITES
     repeats = 2 if quick else 3
-    time_trace_gen, kinds = resolve_phases(phases, frontends)
+    time_trace_gen, kinds, load_selected = resolve_phases(phases, frontends)
+    load_selected = load_selected or serve_load
 
     phase_reports: Dict[str, dict] = {}
+    serve_load_section: Optional[dict] = None
 
     # Phase 1: trace generation, caches bypassed (generator + executor
-    # called directly, exactly what a cold `make_trace` does).
+    # called directly, exactly what a cold `make_trace` does).  Skipped
+    # outright when nothing downstream consumes the traces.
     def generate_all():
         traces = []
         for suite in suites:
@@ -190,8 +226,10 @@ def run_bench(
 
     if time_trace_gen:
         seconds, traces = _time_best(generate_all, repeats)
-    else:
+    elif kinds or profile_path:
         traces = generate_all()
+    else:
+        traces = []
     total_uops = sum(trace.total_uops for trace in traces)
     if time_trace_gen:
         phase_reports[_TRACE_GEN_PHASE] = {
@@ -225,7 +263,30 @@ def run_bench(
         profiler.disable()
         profiler.dump_stats(profile_path)
 
-    return {
+    if load_selected:
+        from repro.bench.serve import run_serve_load
+
+        serve_load_section = run_serve_load(
+            clients=load_clients,
+            duration=load_duration,
+            worker_counts=load_workers,
+            length=min(budget, 6_000),
+        )
+        for stage in serve_load_section["stages"]:
+            # One registry-gateable phase per worker-count stage;
+            # `uops` is served (not generated) work, so the throughput
+            # means "simulation uops delivered to clients per second".
+            phase_reports[f"serve_load_w{stage['workers']}"] = {
+                "seconds": stage["duration_seconds"],
+                "uops": stage["uops"],
+                "uops_per_sec": stage["uops_per_sec"],
+                "requests_per_sec": stage["requests_per_sec"],
+                "p50_ms": stage["p50_ms"],
+                "p99_ms": stage["p99_ms"],
+                "tolerance": SERVE_LOAD_TOLERANCE,
+            }
+
+    report = {
         "schema": SCHEMA,
         "rev": _git_rev(),
         "timestamp": datetime.now(timezone.utc).isoformat(
@@ -245,6 +306,9 @@ def run_bench(
         "phase_list": list(phase_reports),
         "phases": phase_reports,
     }
+    if serve_load_section is not None:
+        report["serve_load"] = serve_load_section
+    return report
 
 
 def write_report(

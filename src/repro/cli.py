@@ -230,10 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=FRONTEND_KINDS, metavar="KIND",
                    help="bench only these frontends (repeatable)")
     p.add_argument("--phases", metavar="LIST", default=None,
-                   help="comma-separated phases to time: trace_gen "
-                   "and/or frontend kinds (e.g. --phases tc,dc); "
-                   "traces are still generated, untimed, when "
-                   "trace_gen is filtered out")
+                   help="comma-separated phases to time: trace_gen, "
+                   "serve_load and/or frontend kinds (e.g. --phases "
+                   "tc,dc); traces are still generated, untimed, when "
+                   "trace_gen is filtered out but frontends run")
     p.add_argument("--profile", metavar="FILE", default=None,
                    help="also cProfile one xbc run, dump stats to FILE")
     p.add_argument("--out", metavar="DIR", default=".",
@@ -244,6 +244,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--serve", action="store_true",
                    help="also measure serve-mode request latency "
                    "(cold + warm p50/p95 over HTTP)")
+    p.add_argument("--serve-load", action="store_true",
+                   help="also run the saturation load harness: many "
+                   "concurrent clients, mixed cold/warm traffic, one "
+                   "stage per --load-workers count")
+    p.add_argument("--load-workers", metavar="LIST", default=None,
+                   help="comma-separated worker counts for "
+                   "--serve-load stages (default 1,2,4)")
+    p.add_argument("--load-clients", type=int, default=16, metavar="N",
+                   help="concurrent load-harness clients (default 16)")
+    p.add_argument("--load-duration", type=float, default=4.0,
+                   metavar="SECONDS",
+                   help="timed window per --serve-load stage "
+                   "(default 4.0)")
     p.add_argument("--registry", metavar="DIR", default=None,
                    help="also record the report into this perf "
                    "registry (see `repro perf`)")
@@ -328,6 +341,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch-window", type=float, default=0.05,
                    metavar="SECONDS",
                    help="how long to gather a batch (default 0.05)")
+    p.add_argument("--serve-workers", type=int, default=1, metavar="N",
+                   help="engine worker processes behind the scheduler; "
+                   ">1 shards jobs by key over N persistent workers "
+                   "(default 1 = classic in-process engine)")
     _add_exec_args(p)
 
     p = sub.add_parser(
@@ -487,12 +504,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
 
         try:
+            load_workers = None
+            if args.load_workers:
+                load_workers = [
+                    int(token) for token in args.load_workers.split(",")
+                    if token.strip()
+                ]
             report = run_bench(
                 budget=args.budget,
                 quick=args.quick,
                 frontends=args.frontend,
                 profile_path=args.profile,
                 phases=args.phases.split(",") if args.phases else None,
+                serve_load=args.serve_load,
+                load_clients=args.load_clients,
+                load_duration=args.load_duration,
+                load_workers=load_workers,
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -509,6 +536,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(format_report(report))
         if serve_line:
             print(serve_line)
+        if report.get("serve_load"):
+            from repro.bench.serve import format_serve_load
+
+            print(format_serve_load(report["serve_load"]))
         path = write_report(report, args.out, registry_dir=args.registry)
         print(f"[report written to {path}]")
         if args.registry:
@@ -642,7 +673,7 @@ def _dispatch_cache(args: argparse.Namespace) -> int:
         root, max_age=max_age, max_bytes=max_bytes, dry_run=args.dry_run
     )
     verb = "would remove" if args.dry_run else "removed"
-    for name in ("traces", "results", "manifests"):
+    for name in ("traces", "results", "manifests", "claims"):
         report = reports[name]
         print(
             f"[{name}] {verb} {report.removed_entries} entries "
@@ -672,6 +703,7 @@ def _dispatch_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         batch_max=args.batch_max,
         batch_window=args.batch_window,
+        serve_workers=args.serve_workers,
     )
     return run_server(app)
 

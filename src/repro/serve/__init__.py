@@ -11,13 +11,17 @@ answers requests over HTTP.  This package provides exactly that:
   validation;
 - :mod:`repro.serve.scheduler` — single-flight coalescing on the
   engine's content-addressed job key, batching into engine runs,
-  bounded-queue backpressure, graceful drain with a resubmit manifest;
+  bounded-queue backpressure, graceful drain with a resubmit
+  manifest, and key-sharded multi-worker dispatch;
+- :mod:`repro.serve.pool` — persistent engine worker processes (one
+  per shard) with crash respawn and batch retry;
 - :mod:`repro.serve.app` — the stdlib asyncio HTTP surface
   (``/jobs``, NDJSON event streams, ``/healthz``, ``/metrics``);
 - :mod:`repro.serve.metrics` — live request/queue/latency/throughput
-  counters;
+  counters with fixed-bucket latency histograms;
 - :mod:`repro.serve.client` — the synchronous client behind
-  ``repro submit`` / ``repro jobs``, with inline fallback.
+  ``repro submit`` / ``repro jobs``, with inline fallback and
+  bounded retry/backoff.
 
 Start a server with ``python -m repro serve``; see ``docs/serving.md``
 for the API and lifecycle.
@@ -31,19 +35,27 @@ from repro.serve.app import (
     run_server,
 )
 from repro.serve.client import (
+    RetryPolicy,
     ServeClient,
     ServeError,
     ServeUnavailable,
     execute_inline,
     submit_or_inline,
 )
-from repro.serve.metrics import LatencyReservoir, ServiceMetrics
+from repro.serve.metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    LatencyReservoir,
+    ServiceMetrics,
+)
+from repro.serve.pool import PoolError, ShardWorker
 from repro.serve.protocol import ProtocolError, parse_job, request_key
 from repro.serve.scheduler import (
     Backpressure,
     Draining,
     JobEntry,
     Scheduler,
+    shard_for_key,
 )
 
 __all__ = [
@@ -52,9 +64,14 @@ __all__ = [
     "DEFAULT_PORT",
     "Draining",
     "JobEntry",
+    "LATENCY_BUCKET_BOUNDS",
+    "LatencyHistogram",
     "LatencyReservoir",
+    "PoolError",
     "ProtocolError",
+    "RetryPolicy",
     "Scheduler",
+    "ShardWorker",
     "ServeApp",
     "ServeClient",
     "ServeError",
@@ -65,5 +82,6 @@ __all__ = [
     "parse_job",
     "request_key",
     "run_server",
+    "shard_for_key",
     "submit_or_inline",
 ]

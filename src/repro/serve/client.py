@@ -5,16 +5,27 @@ server's ``Connection: close`` discipline.  :func:`submit_or_inline`
 is the CLI's entry point: it talks to a server when one is reachable
 and otherwise executes the job inline through the same protocol and
 engine, so ``repro submit`` always produces a result.
+
+Saturation behaviour: :meth:`ServeClient.submit_with_retry` retries
+429 backpressure rejections and connection resets with bounded
+exponential backoff plus jitter (:class:`RetryPolicy`), so a client
+under a saturated server sheds load smoothly instead of failing fast
+— and thousands of load-harness clients don't retry in lockstep.
+Connection *refused* (no server at all) is never retried; it is the
+inline-fallback signal.
 """
 
 from __future__ import annotations
 
+import errno
 import http.client
 import json
 import os
+import random
 import socket
 import time
-from typing import Any, Dict, Iterator, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
 from repro.common.errors import ReproError
@@ -43,7 +54,65 @@ class ServeError(ReproError):
 
 
 class ServeUnavailable(ReproError):
-    """No server is listening at the target address."""
+    """No server is listening at the target address.
+
+    ``reset=True`` marks a connection *reset* (the server exists but
+    dropped us — saturation, accept-queue overflow, mid-restart),
+    which is worth retrying; plain refusal is not.
+    """
+
+    def __init__(self, message: str, reset: bool = False) -> None:
+        super().__init__(message)
+        self.reset = reset
+
+
+def _is_reset(exc: BaseException) -> bool:
+    """Whether a socket error is a reset (retryable) vs a refusal."""
+    if isinstance(exc, (ConnectionResetError, ConnectionAbortedError,
+                        BrokenPipeError, http.client.RemoteDisconnected)):
+        return True
+    if isinstance(exc, ConnectionRefusedError):
+        return False
+    number = getattr(exc, "errno", None)
+    return number in (errno.ECONNRESET, errno.EPIPE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for submit retries.
+
+    Delay for attempt *n* (0-based) is ``min(cap, base * 2**n)``,
+    stretched to a 429's ``Retry-After`` hint when that is larger
+    (still capped), then multiplied by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` so a fleet of saturated clients
+    de-synchronizes instead of stampeding in lockstep.
+    """
+
+    #: total tries (1 = no retry).
+    attempts: int = 5
+    #: base of the exponential backoff, in seconds.
+    base: float = 0.1
+    #: per-sleep ceiling, in seconds.
+    cap: float = 5.0
+    #: uniform jitter half-width as a fraction of the delay.
+    jitter: float = 0.5
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Whether *exc* is a saturation signal worth retrying."""
+        if isinstance(exc, ServeError):
+            return exc.status == 429
+        if isinstance(exc, ServeUnavailable):
+            return exc.reset
+        return False
+
+    def delay(self, attempt: int, retry_after: Optional[int] = None,
+              rng: Optional[Callable[[], float]] = None) -> float:
+        """The sleep before retry *attempt* (0-based), jittered."""
+        delay = min(self.cap, self.base * (2.0 ** attempt))
+        if retry_after:
+            delay = max(delay, min(self.cap, float(retry_after)))
+        spread = (rng or random.random)() * 2.0 - 1.0
+        return max(0.0, delay * (1.0 + self.jitter * spread))
 
 
 class ServeClient:
@@ -85,9 +154,11 @@ class ServeClient:
                                    headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
-            except (ConnectionError, socket.timeout, OSError) as exc:
+            except (ConnectionError, socket.timeout, OSError,
+                    http.client.RemoteDisconnected) as exc:
                 raise ServeUnavailable(
-                    f"no server at {self.base_url}: {exc}"
+                    f"no server at {self.base_url}: {exc}",
+                    reset=_is_reset(exc),
                 ) from exc
             document: Any = None
             if raw:
@@ -140,6 +211,36 @@ class ServeClient:
         """``POST /jobs``; raises :class:`ServeError` on 4xx/5xx."""
         return self._checked("POST", "/jobs", body=request)
 
+    def submit_with_retry(
+        self,
+        request: Dict[str, Any],
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Optional[Callable[[], float]] = None,
+    ) -> Dict[str, Any]:
+        """:meth:`submit` with bounded backoff on 429/connection-reset.
+
+        Non-retryable failures (400s, refused connections) propagate
+        immediately; retryable ones are re-tried up to
+        ``retry.attempts`` times and the last error re-raised when the
+        budget is spent.  *sleep*/*rng* are injectable for tests.
+        """
+        retry = retry or RetryPolicy()
+        last: Optional[Exception] = None
+        for attempt in range(max(1, retry.attempts)):
+            try:
+                return self.submit(request)
+            except (ServeError, ServeUnavailable) as exc:
+                if not retry.retryable(exc):
+                    raise
+                last = exc
+            if attempt + 1 >= max(1, retry.attempts):
+                break
+            retry_after = getattr(last, "retry_after", None)
+            sleep(retry.delay(attempt, retry_after=retry_after, rng=rng))
+        assert last is not None
+        raise last
+
     def job(self, job_id: str) -> Dict[str, Any]:
         """``GET /jobs/<id>``."""
         return self._checked("GET", f"/jobs/{job_id}")
@@ -160,7 +261,8 @@ class ServeClient:
                 response = connection.getresponse()
             except (ConnectionError, socket.timeout, OSError) as exc:
                 raise ServeUnavailable(
-                    f"no server at {self.base_url}: {exc}"
+                    f"no server at {self.base_url}: {exc}",
+                    reset=_is_reset(exc),
                 ) from exc
             if response.status >= 400:
                 raw = response.read()
@@ -243,17 +345,20 @@ def submit_or_inline(
     wait: bool = True,
     timeout: float = 300.0,
     policy: Optional[ExecPolicy] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Tuple[Dict[str, Any], str]:
     """Submit to a server if reachable, else execute inline.
 
     Returns ``(document, via)`` where *via* is ``"server"`` or
     ``"inline"``.  With ``wait=False`` against a live server the
     returned document is the submission acknowledgement, not the
-    result.
+    result.  Backpressure (429) and connection resets are retried
+    with backoff per *retry* before giving up; a refused connection
+    (no server) falls back to inline immediately.
     """
     client = ServeClient(server, timeout=min(timeout, 30.0))
     try:
-        acknowledgement = client.submit(request)
+        acknowledgement = client.submit_with_retry(request, retry=retry)
     except ServeUnavailable:
         return execute_inline(request, policy=policy), "inline"
     if not wait:

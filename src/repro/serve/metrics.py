@@ -2,9 +2,11 @@
 
 One :class:`ServiceMetrics` instance is shared by the HTTP layer and
 the scheduler; ``GET /metrics`` renders :meth:`ServiceMetrics.snapshot`
-as JSON.  Everything is plain counters plus a bounded latency
-reservoir — cheap enough to update on every request, with quantiles
-computed only when a snapshot is taken.
+as JSON.  Everything is plain counters plus fixed-bucket latency
+histograms (:data:`LATENCY_BUCKET_BOUNDS`) — cheap enough to update on
+every request, with quantiles computed only when a snapshot is taken,
+and binned identically to the ``repro bench --serve-load`` harness so
+both report comparable p50/p99.
 
 All updates happen on the event-loop thread (engine observer events
 are trampolined there by the scheduler), so no locking is needed.
@@ -13,8 +15,100 @@ are trampolined there by the scheduler), so no locking is needed.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+
+def _log_bounds(lo: float, hi: float, per_decade: int) -> tuple:
+    """Log-spaced bucket upper bounds from *lo* to at least *hi*."""
+    bounds = []
+    value = lo
+    factor = 10.0 ** (1.0 / per_decade)
+    while value < hi:
+        bounds.append(value)
+        value *= factor
+    bounds.append(value)
+    return tuple(bounds)
+
+
+#: Shared histogram bucket upper bounds, in seconds: 100 µs to ~100 s,
+#: 8 buckets per decade (~33% resolution).  The serve ``/metrics``
+#: endpoint and the ``--serve-load`` harness both bin with these, so a
+#: human comparing the two reads percentiles from identical buckets.
+LATENCY_BUCKET_BOUNDS = _log_bounds(1e-4, 100.0, per_decade=8)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile estimates.
+
+    Buckets are log-spaced and *fixed* (:data:`LATENCY_BUCKET_BOUNDS`
+    by default), so histograms from different processes — N serve
+    shards, the load harness's client threads — can be merged by
+    adding counts, and a quantile read anywhere means the same thing.
+    A quantile is reported as the upper bound of the bucket holding
+    that rank (a ≤33% overestimate, never an underestimate).
+    """
+
+    def __init__(self, bounds: Sequence[float] = LATENCY_BUCKET_BOUNDS
+                 ) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1: overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation."""
+        self.counts[bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold *other* (same bounds) into this histogram."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        self.max = max(self.max, other.max)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the *q*-rank observation."""
+        if not self.count:
+            return None
+        rank = max(1, min(self.count, int(q * self.count) + 1))
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max  # overflow bucket: all we know is the max
+        return self.max
+
+    def mean(self) -> Optional[float]:
+        """Exact mean of all observations (``None`` before the first)."""
+        if not self.count:
+            return None
+        return self.total / self.count
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """p50/p95/p99/mean/max in milliseconds plus the sample count."""
+        def ms(value: Optional[float]) -> Optional[float]:
+            return None if value is None else round(value * 1000.0, 3)
+
+        return {
+            "count": self.count,
+            "p50_ms": ms(self.quantile(0.50)),
+            "p95_ms": ms(self.quantile(0.95)),
+            "p99_ms": ms(self.quantile(0.99)),
+            "mean_ms": ms(self.mean()),
+            "max_ms": ms(self.max if self.count else None),
+        }
 
 
 class LatencyReservoir:
@@ -82,10 +176,11 @@ class ServiceMetrics:
         self.engine_cache_hits = 0   #: jobs served by the result cache
         self.uops_delivered = 0      #: trace uops of completed sim work
         self.busy_seconds = 0.0      #: summed per-job engine wall time
-        #: submit -> terminal latency of completed jobs.
-        self.job_latency = LatencyReservoir()
+        #: submit -> terminal latency of completed jobs (fixed-bucket
+        #: histogram: p50/p95/p99 comparable with the load harness).
+        self.job_latency = LatencyHistogram()
         #: wall time of whole engine batches.
-        self.batch_latency = LatencyReservoir()
+        self.batch_latency = LatencyHistogram()
 
     # ------------------------------------------------------------------
 
@@ -110,11 +205,33 @@ class ServiceMetrics:
         return self.engine_cache_hits / resolved
 
     def snapshot(
-        self, queue_depth: int = 0, inflight: int = 0, draining: bool = False
+        self, queue_depth: int = 0, inflight: int = 0, draining: bool = False,
+        queue_depths: Optional[List[int]] = None,
+        inflights: Optional[List[int]] = None,
     ) -> Dict[str, object]:
-        """The ``/metrics`` document (gauges passed in by the caller)."""
+        """The ``/metrics`` document (gauges passed in by the caller).
+
+        *queue_depths* / *inflights*, when given, are the per-shard
+        gauges of a multi-worker scheduler (one element per shard).
+        """
         ups = self.uops_per_sec()
         ratio = self.cache_hit_ratio()
+        jobs: Dict[str, object] = {
+            "submitted": self.jobs_submitted,
+            "coalesced": self.jobs_coalesced,
+            "memoized": self.jobs_memoized,
+            "rejected": self.jobs_rejected,
+            "completed": self.jobs_completed,
+            "failed": self.jobs_failed,
+            "cancelled": self.jobs_cancelled,
+            "queue_depth": queue_depth,
+            "inflight": inflight,
+        }
+        if queue_depths is not None:
+            jobs["shards"] = len(queue_depths)
+            jobs["queue_depths"] = list(queue_depths)
+        if inflights is not None:
+            jobs["inflights"] = list(inflights)
         return {
             "uptime_seconds": round(time.monotonic() - self.started, 3),
             "draining": draining,
@@ -127,17 +244,7 @@ class ServiceMetrics:
                     )
                 },
             },
-            "jobs": {
-                "submitted": self.jobs_submitted,
-                "coalesced": self.jobs_coalesced,
-                "memoized": self.jobs_memoized,
-                "rejected": self.jobs_rejected,
-                "completed": self.jobs_completed,
-                "failed": self.jobs_failed,
-                "cancelled": self.jobs_cancelled,
-                "queue_depth": queue_depth,
-                "inflight": inflight,
-            },
+            "jobs": jobs,
             "engine": {
                 "runs": self.engine_runs,
                 "executed": self.engine_executed,

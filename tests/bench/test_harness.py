@@ -23,7 +23,7 @@ def _tiny_report(**kwargs):
 class TestRunBench:
     def test_report_shape(self):
         report = _tiny_report()
-        assert report["schema"] == 3
+        assert report["schema"] == 4
         assert report["quick"] is True
         # Schema 3: every report is stamped with a UTC ISO timestamp.
         assert "T" in report["timestamp"]
@@ -123,26 +123,41 @@ class TestGitRev:
 
 class TestResolvePhases:
     def test_default_runs_everything(self):
-        time_gen, kinds = resolve_phases(None)
+        time_gen, kinds, load = resolve_phases(None)
         assert time_gen is True
         assert kinds == list(FRONTEND_KINDS)
+        # serve_load is opt-in: it stands up real server processes.
+        assert load is False
 
     def test_subset_selection(self):
-        time_gen, kinds = resolve_phases(["tc", "dc"])
+        time_gen, kinds, load = resolve_phases(["tc", "dc"])
         assert time_gen is False
         assert kinds == ["dc", "tc"]  # registry order, not request order
+        assert load is False
 
     def test_trace_gen_token(self):
-        time_gen, kinds = resolve_phases(["trace_gen", "ic"])
+        time_gen, kinds, _ = resolve_phases(["trace_gen", "ic"])
         assert time_gen is True
         assert kinds == ["ic"]
 
+    def test_serve_load_token(self):
+        time_gen, kinds, load = resolve_phases(["serve_load"])
+        assert time_gen is False
+        assert kinds == []
+        assert load is True
+
+    def test_serve_load_combines_with_sim_phases(self):
+        time_gen, kinds, load = resolve_phases(["serve_load", "xbc"])
+        assert time_gen is False
+        assert kinds == ["xbc"]
+        assert load is True
+
     def test_intersects_legacy_frontend_filter(self):
-        _, kinds = resolve_phases(["tc", "dc"], frontends=["dc", "xbc"])
+        _, kinds, _ = resolve_phases(["tc", "dc"], frontends=["dc", "xbc"])
         assert kinds == ["dc"]
 
     def test_whitespace_and_empty_tokens_ignored(self):
-        time_gen, kinds = resolve_phases([" tc ", ""])
+        time_gen, kinds, _ = resolve_phases([" tc ", ""])
         assert time_gen is False
         assert kinds == ["tc"]
 
@@ -157,7 +172,7 @@ class TestResolvePhases:
             resolve_phases(["bogus"])
         message = str(excinfo.value)
         assert "bogus" in message
-        for token in ("trace_gen",) + tuple(FRONTEND_KINDS):
+        for token in ("trace_gen", "serve_load") + tuple(FRONTEND_KINDS):
             assert token in message
 
 

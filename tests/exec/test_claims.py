@@ -1,0 +1,219 @@
+"""Tests for cross-process work claims and engine claim coordination.
+
+The :class:`~repro.exec.cache.Claims` primitives (O_EXCL acquire,
+stale detection, sweep) are exercised directly; the engine-level tests
+drive ``ExecPolicy(coordinate=True)`` through the real run path:
+claim-before-compute, release-after-put, waiting on a foreign claim
+until its result lands, and taking over a claim whose holder died.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.exec.cache import CLAIM_TTL_SECONDS, Claims, ResultCache
+from repro.exec.engine import ExecPolicy, ExecutionEngine, job_key
+
+
+class EchoJob:
+    """Deterministic cacheable job (picklable, module-level)."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def execute(self):
+        return self.value * 2
+
+    def key_payload(self):
+        return {"kind": "claims-echo", "value": self.value}
+
+    @staticmethod
+    def encode_result(value):
+        return value
+
+    @staticmethod
+    def decode_result(payload):
+        return payload
+
+    def describe(self):
+        return {"job": "claims-echo", "value": self.value}
+
+
+def _age_claim(claims: Claims, key: str, seconds: float) -> None:
+    stamp = time.time() - seconds
+    os.utime(claims.path(key), (stamp, stamp))
+
+
+# ---------------------------------------------------------------------------
+# Claims primitives
+# ---------------------------------------------------------------------------
+
+
+def test_acquire_is_exclusive_and_release_idempotent(tmp_path):
+    claims = Claims(str(tmp_path))
+    assert claims.acquire("k1")
+    assert not claims.acquire("k1")  # second taker loses
+    assert claims.is_active("k1")
+    claims.release("k1")
+    claims.release("k1")  # no error on double release
+    assert not claims.is_active("k1")
+    assert claims.acquire("k1")  # reacquirable after release
+
+
+def test_claim_records_holder_identity(tmp_path):
+    claims = Claims(str(tmp_path))
+    assert claims.acquire("k")
+    with open(claims.path("k"), encoding="utf-8") as handle:
+        holder = json.load(handle)
+    assert holder["pid"] == os.getpid()
+    assert "host" in holder and "created" in holder
+
+
+def test_stale_claims_are_broken_on_acquire(tmp_path):
+    claims = Claims(str(tmp_path))
+    assert claims.acquire("k")
+    _age_claim(claims, "k", CLAIM_TTL_SECONDS + 60)
+    assert not claims.is_active("k")
+    assert claims.acquire("k")  # TTL-stale claim is broken and retaken
+    assert claims.is_active("k")
+
+
+def test_dead_holder_pid_makes_claim_stale(tmp_path):
+    claims = Claims(str(tmp_path))
+    assert claims.acquire("k")
+    # Rewrite the claim as if a long-gone local process held it.  PID
+    # 2**22 exceeds the default pid_max on Linux so it cannot be live.
+    with open(claims.path("k"), "w", encoding="utf-8") as handle:
+        json.dump({"pid": 1 << 22, "host": __import__("platform").node(),
+                   "created": time.time()}, handle)
+    assert not claims.is_active("k")
+    assert claims.acquire("k")
+
+
+def test_live_same_host_claim_is_not_stale(tmp_path):
+    claims = Claims(str(tmp_path))
+    assert claims.acquire("k")  # holder pid is this live process
+    assert claims.is_active("k")
+    assert "k" in claims.active_keys()
+
+
+def test_sweep_removes_only_stale_claims(tmp_path):
+    claims = Claims(str(tmp_path))
+    claims.acquire("live")
+    claims.acquire("stale")
+    _age_claim(claims, "stale", CLAIM_TTL_SECONDS + 60)
+
+    report = claims.sweep(dry_run=True)
+    assert report.removed_entries == 1
+    assert os.path.exists(claims.path("stale"))  # dry run
+
+    report = claims.sweep()
+    assert report.removed_entries == 1
+    assert report.kept_entries == 1
+    assert not os.path.exists(claims.path("stale"))
+    assert os.path.exists(claims.path("live"))
+
+
+# ---------------------------------------------------------------------------
+# Engine coordination
+# ---------------------------------------------------------------------------
+
+
+def _policy(tmp_path) -> ExecPolicy:
+    return ExecPolicy(use_cache=True, cache_dir=str(tmp_path),
+                      coordinate=True, max_attempts=1)
+
+
+def test_coordinated_run_computes_and_releases(tmp_path):
+    engine = ExecutionEngine(_policy(tmp_path))
+    job = EchoJob(21)
+    results = engine.run([job], label="claims")
+    assert results[0].value == 42
+    # Claim released after the result was cached; nothing left behind.
+    claims = Claims(str(tmp_path))
+    assert not claims.is_active(job_key(job))
+    assert claims.active_keys() == set()
+    assert ResultCache(str(tmp_path)).get(job_key(job)) == 42
+
+
+def test_waiter_resolves_from_foreign_result(tmp_path):
+    """A run that finds a foreign claim waits for the result entry
+    instead of recomputing, and reports it as a cache hit."""
+    job = EchoJob(5)
+    key = job_key(job)
+    claims = Claims(str(tmp_path))
+    assert claims.acquire(key)  # "another worker" is computing
+    cache = ResultCache(str(tmp_path))
+
+    def foreign_finish():
+        time.sleep(0.25)
+        cache.put(key, 10)
+        claims.release(key)
+
+    writer = threading.Thread(target=foreign_finish)
+    writer.start()
+    try:
+        engine = ExecutionEngine(_policy(tmp_path))
+        results = engine.run([job], label="waiter")
+    finally:
+        writer.join()
+    assert results[0].value == 10
+    assert results[0].cached  # served from the foreign computation
+
+
+def test_abandoned_claim_is_taken_over(tmp_path):
+    """A claim whose holder died (stale) does not block the batch:
+    the waiter takes it over and computes locally."""
+    job = EchoJob(7)
+    key = job_key(job)
+    claims = Claims(str(tmp_path))
+    assert claims.acquire(key)
+    _age_claim(claims, key, CLAIM_TTL_SECONDS + 60)
+
+    engine = ExecutionEngine(_policy(tmp_path))
+    results = engine.run([job], label="takeover")
+    assert results[0].value == 14
+    assert not results[0].cached  # computed here, not waited out
+    assert not claims.is_active(key)
+    assert ResultCache(str(tmp_path)).get(key) == 14
+
+
+def test_released_claim_without_result_is_taken_over(tmp_path):
+    """Holder released (failed) without writing a result: the waiter
+    acquires the freed claim and computes rather than spinning."""
+    job = EchoJob(9)
+    key = job_key(job)
+    claims = Claims(str(tmp_path))
+    assert claims.acquire(key)
+
+    def foreign_abort():
+        time.sleep(0.2)
+        claims.release(key)  # gave up, no result written
+
+    aborter = threading.Thread(target=foreign_abort)
+    aborter.start()
+    try:
+        engine = ExecutionEngine(_policy(tmp_path))
+        results = engine.run([job], label="abort-takeover")
+    finally:
+        aborter.join()
+    assert results[0].value == 18
+    assert ResultCache(str(tmp_path)).get(key) == 18
+
+
+def test_duplicate_keys_in_one_run_do_not_deadlock(tmp_path):
+    """Two jobs with the same key in one batch must not wait on their
+    own claim; both compute/resolve and the run terminates."""
+    engine = ExecutionEngine(_policy(tmp_path))
+    results = engine.run([EchoJob(3), EchoJob(3)], label="dup")
+    assert [r.value for r in results] == [6, 6]
+    assert Claims(str(tmp_path)).active_keys() == set()
+
+
+def test_coordinate_without_cache_is_a_noop(tmp_path):
+    policy = ExecPolicy(coordinate=True, use_cache=False)
+    results = ExecutionEngine(policy).run([EchoJob(2)])
+    assert results[0].value == 4

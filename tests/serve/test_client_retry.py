@@ -1,0 +1,157 @@
+"""Tests for the client's bounded retry/backoff (:class:`RetryPolicy`).
+
+Pure unit tests: delays are checked with an injected rng, and
+``submit_with_retry`` is driven against a stubbed ``submit`` with an
+injected sleep, so nothing here touches the network or the clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import (
+    RetryPolicy,
+    ServeClient,
+    ServeError,
+    ServeUnavailable,
+)
+
+
+def _mid(_: float = 0.5) -> float:
+    """rng stub returning 0.5: jitter factor exactly 1.0."""
+    return 0.5
+
+
+class TestRetryPolicyDelay:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base=0.1, cap=100.0, jitter=0.5)
+        delays = [policy.delay(attempt, rng=_mid) for attempt in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_cap_bounds_every_delay(self):
+        policy = RetryPolicy(base=1.0, cap=3.0, jitter=0.0)
+        assert policy.delay(10, rng=_mid) == pytest.approx(3.0)
+
+    def test_retry_after_stretches_but_stays_capped(self):
+        policy = RetryPolicy(base=0.1, cap=5.0, jitter=0.5)
+        assert policy.delay(0, retry_after=2, rng=_mid) == pytest.approx(2.0)
+        # A hostile/huge Retry-After must not exceed the cap.
+        assert policy.delay(0, retry_after=600, rng=_mid) == \
+            pytest.approx(5.0)
+
+    def test_jitter_spreads_around_the_base_delay(self):
+        policy = RetryPolicy(base=1.0, cap=10.0, jitter=0.5)
+        low = policy.delay(0, rng=lambda: 0.0)   # factor 1 - jitter
+        high = policy.delay(0, rng=lambda: 1.0)  # factor 1 + jitter
+        assert low == pytest.approx(0.5)
+        assert high == pytest.approx(1.5)
+
+    def test_never_negative(self):
+        policy = RetryPolicy(base=0.1, cap=5.0, jitter=1.0)
+        assert policy.delay(0, rng=lambda: 0.0) == pytest.approx(0.0)
+
+
+class TestRetryableClassification:
+    def test_429_is_retryable(self):
+        assert RetryPolicy().retryable(ServeError(429, "queue full"))
+
+    def test_other_http_errors_are_not(self):
+        policy = RetryPolicy()
+        assert not policy.retryable(ServeError(400, "bad request"))
+        assert not policy.retryable(ServeError(503, "draining"))
+
+    def test_connection_reset_is_retryable(self):
+        assert RetryPolicy().retryable(
+            ServeUnavailable("reset by peer", reset=True)
+        )
+
+    def test_connection_refused_is_not(self):
+        """Refusal means no server: it is the inline-fallback signal
+        and must never be retried."""
+        assert not RetryPolicy().retryable(
+            ServeUnavailable("refused", reset=False)
+        )
+
+
+class _ScriptedClient(ServeClient):
+    """ServeClient whose ``submit`` plays back a scripted outcome list."""
+
+    def __init__(self, script):
+        super().__init__("http://127.0.0.1:1")
+        self.script = list(script)
+        self.calls = 0
+
+    def submit(self, request):
+        self.calls += 1
+        outcome = self.script.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestSubmitWithRetry:
+    def test_retries_429_until_success(self):
+        client = _ScriptedClient([
+            ServeError(429, "full", retry_after=1),
+            ServeError(429, "full", retry_after=1),
+            {"job_id": "abc"},
+        ])
+        sleeps = []
+        document = client.submit_with_retry(
+            {"kind": "sim"}, retry=RetryPolicy(attempts=5, jitter=0.0),
+            sleep=sleeps.append, rng=_mid,
+        )
+        assert document == {"job_id": "abc"}
+        assert client.calls == 3
+        assert len(sleeps) == 2
+        # Retry-After=1 stretches both backoff sleeps to >= 1s.
+        assert all(delay >= 1.0 for delay in sleeps)
+
+    def test_retries_connection_reset(self):
+        client = _ScriptedClient([
+            ServeUnavailable("reset", reset=True),
+            {"job_id": "abc"},
+        ])
+        sleeps = []
+        assert client.submit_with_retry(
+            {}, retry=RetryPolicy(attempts=3), sleep=sleeps.append,
+            rng=_mid,
+        ) == {"job_id": "abc"}
+        assert len(sleeps) == 1
+
+    def test_refused_propagates_immediately(self):
+        client = _ScriptedClient([ServeUnavailable("refused", reset=False)])
+        sleeps = []
+        with pytest.raises(ServeUnavailable):
+            client.submit_with_retry({}, sleep=sleeps.append)
+        assert client.calls == 1
+        assert sleeps == []
+
+    def test_400_propagates_immediately(self):
+        client = _ScriptedClient([ServeError(400, "bad field")])
+        with pytest.raises(ServeError) as excinfo:
+            client.submit_with_retry({}, sleep=lambda _: None)
+        assert excinfo.value.status == 400
+        assert client.calls == 1
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        client = _ScriptedClient([
+            ServeError(429, "full") for _ in range(3)
+        ])
+        sleeps = []
+        with pytest.raises(ServeError) as excinfo:
+            client.submit_with_retry(
+                {}, retry=RetryPolicy(attempts=3), sleep=sleeps.append,
+                rng=_mid,
+            )
+        assert excinfo.value.status == 429
+        assert client.calls == 3
+        assert len(sleeps) == 2  # no sleep after the final attempt
+
+    def test_single_attempt_means_no_retry(self):
+        client = _ScriptedClient([ServeError(429, "full")])
+        with pytest.raises(ServeError):
+            client.submit_with_retry(
+                {}, retry=RetryPolicy(attempts=1), sleep=lambda _: None
+            )
+        assert client.calls == 1

@@ -1,0 +1,106 @@
+"""Tests for the fixed-bucket latency histogram and /metrics gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.metrics import (
+    LATENCY_BUCKET_BOUNDS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram_reports_none(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.mean() is None
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99_ms"] is None
+
+    def test_quantile_never_underestimates(self):
+        """The reported quantile is a bucket upper bound: always >= the
+        true value, at most one bucket width above it."""
+        histogram = LatencyHistogram()
+        samples = [0.0005, 0.001, 0.004, 0.01, 0.05, 0.2, 1.5]
+        for sample in samples:
+            histogram.record(sample)
+        for q in (0.5, 0.9, 0.99):
+            true_rank = sorted(samples)[
+                min(len(samples) - 1, int(q * len(samples)))
+            ]
+            assert histogram.quantile(q) >= true_rank
+
+    def test_mean_and_max_are_exact(self):
+        histogram = LatencyHistogram()
+        for sample in (0.010, 0.020, 0.030):
+            histogram.record(sample)
+        assert histogram.mean() == pytest.approx(0.020)
+        assert histogram.max == pytest.approx(0.030)
+
+    def test_overflow_bucket_reports_the_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(500.0)  # beyond the last bound (~100 s)
+        assert histogram.quantile(0.99) == pytest.approx(500.0)
+
+    def test_merge_is_count_additive(self):
+        """Merging per-thread histograms must equal recording every
+        sample into one — the property the load harness relies on."""
+        merged = LatencyHistogram()
+        reference = LatencyHistogram()
+        chunks = [[0.001, 0.02], [0.005, 0.3, 2.0], [0.0001]]
+        for chunk in chunks:
+            part = LatencyHistogram()
+            for sample in chunk:
+                part.record(sample)
+                reference.record(sample)
+            merged.merge(part)
+        assert merged.counts == reference.counts
+        assert merged.count == reference.count
+        assert merged.max == reference.max
+        assert merged.total == pytest.approx(reference.total)
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == reference.quantile(q)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        histogram = LatencyHistogram()
+        other = LatencyHistogram(bounds=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            histogram.merge(other)
+
+    def test_shared_bounds_cover_serving_range(self):
+        """100 µs to 100 s: sub-ms warm hits and multi-second cold
+        simulations both land inside the binned range."""
+        assert LATENCY_BUCKET_BOUNDS[0] <= 1e-4
+        assert LATENCY_BUCKET_BOUNDS[-1] >= 100.0
+
+
+class TestServiceMetricsSnapshot:
+    def test_latency_section_uses_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.job_latency.record(0.002)
+        metrics.job_latency.record(0.004)
+        snapshot = metrics.snapshot()
+        latency = snapshot["latency"]["job"]
+        assert latency["count"] == 2
+        assert latency["p50_ms"] is not None
+        assert latency["p99_ms"] is not None
+
+    def test_per_shard_gauges_present_when_sharded(self):
+        metrics = ServiceMetrics()
+        snapshot = metrics.snapshot(
+            queue_depth=3, inflight=2,
+            queue_depths=[1, 2], inflights=[0, 2],
+        )
+        jobs = snapshot["jobs"]
+        assert jobs["shards"] == 2
+        assert jobs["queue_depths"] == [1, 2]
+        assert jobs["inflights"] == [0, 2]
+        assert jobs["queue_depth"] == 3
+
+    def test_per_shard_gauges_absent_single_worker(self):
+        snapshot = ServiceMetrics().snapshot(queue_depth=1, inflight=0)
+        assert "shards" not in snapshot["jobs"]
+        assert "queue_depths" not in snapshot["jobs"]
