@@ -5,6 +5,11 @@ Commands map one-to-one onto the paper's artifacts:
 - ``fig1`` / ``fig8`` / ``fig9`` / ``fig10`` — regenerate a figure;
 - ``claims`` — the §4/§5 in-text claims (T2, T3);
 - ``ablate`` — §3 design-choice ablations;
+- ``scenario`` — the widened XBC-vs-TC matrix: paper suites, the
+  server profile family, and fuzz findings on one table;
+- ``fuzz`` — adversarial profile search for XBC-vs-TC inversions
+  (``run`` / ``replay`` / ``minimize`` / ``report``, see
+  ``docs/workloads.md``);
 - ``run`` — simulate one frontend on one synthetic trace;
 - ``bench`` — time the simulation core, write a ``BENCH_<rev>.json``;
 - ``info`` — describe the registry workloads (``--json`` for scripts);
@@ -51,7 +56,7 @@ from repro.harness.experiments import (
 )
 from repro.harness import results
 from repro.perf.cli import add_perf_parser, dispatch_perf
-from repro.program.profiles import SUITE_NAMES
+from repro.program.profiles import SERVER_NAMES, SUITE_NAMES
 
 
 def _maybe_csv(args, table) -> None:
@@ -202,6 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--csv", metavar="FILE", default=None)
 
     p = sub.add_parser(
+        "scenario",
+        help="XBC vs TC hit rates across paper suites, the server "
+        "family, and fuzz findings",
+    )
+    _add_registry_args(p)
+    _add_exec_args(p)
+    p.add_argument("--size", type=int, default=8192, help="uop budget")
+    p.add_argument("--server-traces", type=int, default=1, metavar="N",
+                   help="traces per server profile (default 1; 0 drops "
+                   "the server group)")
+    p.add_argument("--server-uops", type=int, default=None, metavar="N",
+                   help="override the server profiles' static footprint "
+                   "(native multi-hundred-k targets are slow to "
+                   "generate; CI smoke uses a small override)")
+    p.add_argument("--findings", metavar="FILE", default=None,
+                   help="findings corpus to include (repro fuzz run)")
+    p.add_argument("--top", type=int, default=3, metavar="K",
+                   help="corpus findings to include (default 3)")
+    p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser(
         "all", help="run every figure + claims, writing text and CSV"
     )
     _add_registry_args(p)
@@ -277,6 +303,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=8192,
                    help="base uop budget (default 8192)")
     p.add_argument("--csv", metavar="FILE", default=None)
+
+    p = sub.add_parser(
+        "fuzz", help="hunt profile-space inversions where the TC "
+        "out-hits the XBC"
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    fp = fuzz_sub.add_parser(
+        "run", help="search the profile space and write a findings corpus"
+    )
+    fp.add_argument("--budget", type=int, default=24, metavar="N",
+                    help="candidate evaluations (default 24)")
+    fp.add_argument("--seed", type=int, default=1,
+                    help="search seed; the whole run replays from it")
+    fp.add_argument("--base", default="server-web",
+                    choices=SUITE_NAMES + SERVER_NAMES,
+                    help="profile anchoring the space (default server-web)")
+    fp.add_argument("--size", type=int, default=8192,
+                    help="frontend uop budget (default 8192)")
+    fp.add_argument("--length", type=int, default=40_000,
+                    help="trace length per candidate (default 40000)")
+    fp.add_argument("--explore", type=float, default=0.5,
+                    help="random-restart probability (default 0.5)")
+    fp.add_argument("--min-gain", type=float, default=0.0005,
+                    help="objective floor for recording a finding")
+    fp.add_argument("--minimize-top", type=int, default=1, metavar="K",
+                    help="findings to minimize into the corpus "
+                    "(default 1; 0 stores raw findings unminimized)")
+    fp.add_argument("--out", metavar="FILE", default="findings.json",
+                    help="findings corpus path (default findings.json)")
+    _add_exec_args(fp)
+
+    fp = fuzz_sub.add_parser(
+        "replay", help="re-run corpus findings and verify bit-identity"
+    )
+    fp.add_argument("--corpus", metavar="FILE", default="findings.json")
+    fp.add_argument("--id", default=None, metavar="PREFIX",
+                    help="replay one finding (id prefix); default all")
+    _add_exec_args(fp)
+
+    fp = fuzz_sub.add_parser(
+        "minimize", help="(re-)minimize corpus findings to fewest deltas"
+    )
+    fp.add_argument("--corpus", metavar="FILE", default="findings.json")
+    fp.add_argument("--id", default=None, metavar="PREFIX",
+                    help="minimize one finding (id prefix); default all")
+    fp.add_argument("--min-gain", type=float, default=0.0005,
+                    help="objective the minimized point must keep")
+    _add_exec_args(fp)
+
+    fp = fuzz_sub.add_parser("report", help="print a findings corpus")
+    fp.add_argument("--corpus", metavar="FILE", default="findings.json")
 
     p = sub.add_parser(
         "generate", help="write registry traces to disk as .trace files"
@@ -447,6 +525,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         print(format_ablations(rows))
         _maybe_csv(args, results.ablations_table(rows))
+    elif args.command == "scenario":
+        return _dispatch_scenario(args)
+    elif args.command == "fuzz":
+        return _dispatch_fuzz(args)
     elif args.command == "all":
         _run_all(args)
     elif args.command == "run":
@@ -572,8 +654,24 @@ def _dispatch(args: argparse.Namespace) -> int:
                                  traces=descriptions)
             print(_json.dumps(document, indent=2, sort_keys=True))
             return 0
+        from repro.sysinfo import profiles_data
+
         for item in descriptions:
             print(item["describe"])
+        print()
+        print("[profiles]")
+        for entry in profiles_data():
+            target = (
+                f"{entry['static_uops']:,}" if entry["static_uops"]
+                else "n/a"
+            )
+            print(
+                f"  {entry['name']:<14} static={target:>8} uops  "
+                f"functions={entry['functions']:>5}  "
+                f"depth={entry['max_call_depth']:>2}  "
+                f"block={entry['mean_block_uops']:.1f} uops  "
+                f"indirect={100 * entry['indirect_rate']:.1f}%"
+            )
         print()
         print(f"[trace cache] {trace_cache_stats().describe()}")
         root = args.cache_dir or default_cache_dir()
@@ -834,6 +932,207 @@ def _dispatch_jobs(args: argparse.Namespace) -> int:
             f"{params.get('job', '?')}:{brief}"
         )
     return 0
+
+
+def _dispatch_scenario(args: argparse.Namespace) -> int:
+    from repro.harness.experiments.scenario import (
+        format_scenario_matrix,
+        run_scenario_matrix,
+    )
+    from repro.harness.registry import server_registry
+
+    findings = []
+    if args.findings:
+        from repro.scenario.findings import FindingsCorpus
+
+        findings = FindingsCorpus.load(args.findings).top(args.top)
+    server_specs = (
+        server_registry(
+            traces_per_profile=args.server_traces,
+            length_uops=args.length,
+            static_uops=args.server_uops,
+        )
+        if args.server_traces > 0
+        else []
+    )
+    rows = run_scenario_matrix(
+        suite_specs=_registry(args),
+        server_specs=server_specs,
+        findings=findings,
+        total_uops=args.size,
+        policy=_policy(args),
+    )
+    print(format_scenario_matrix(rows, total_uops=args.size))
+    _maybe_csv(args, results.scenario_table(rows))
+    return 0
+
+
+def _fuzz_policy(args: argparse.Namespace) -> ExecPolicy:
+    """Like :func:`_policy` but without the per-batch progress meter.
+
+    A fuzz run launches one tiny job batch per candidate; the engine's
+    progress meter would spam a line pair per candidate, so the fuzz
+    loop prints its own one-line-per-candidate log instead.
+    """
+    return ExecPolicy(
+        workers=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        timeout=args.job_timeout,
+        progress=False,
+    )
+
+
+def _dispatch_fuzz(args: argparse.Namespace) -> int:
+    from repro.scenario import (
+        FindingsCorpus,
+        FuzzConfig,
+        ParameterSpace,
+        minimize_evaluation,
+        replay_finding,
+        run_search,
+    )
+    from repro.scenario.findings import Finding, corpus_from_run
+
+    if args.fuzz_command == "run":
+        space = ParameterSpace.default(args.base)
+        config = FuzzConfig(
+            budget=args.budget,
+            seed=args.seed,
+            base=args.base,
+            total_uops=args.size,
+            length_uops=args.length,
+            explore=args.explore,
+            min_gain=args.min_gain,
+        )
+        policy = _fuzz_policy(args)
+
+        def progress(done, budget, evaluation, best):
+            print(
+                f"[fuzz {done:3d}/{budget}] obj={evaluation.objective:+.4f} "
+                f"best={best.objective:+.4f} "
+                f"static={evaluation.spec.static_uops}",
+                file=sys.stderr,
+            )
+
+        result = run_search(space, config, policy, progress=progress)
+        print(
+            f"[fuzz] {len(result.evaluations) + 1} evaluations, "
+            f"{len(result.findings)} findings above "
+            f"{config.min_gain:+.4f} "
+            f"({result.invalid_points} invalid candidates)"
+        )
+        minimized = []
+        top = max(0, args.minimize_top)
+        for evaluation in result.findings[:top]:
+            item = minimize_evaluation(space, evaluation, config, policy)
+            minimized.append(item)
+            print(
+                f"[fuzz] minimized {evaluation.objective:+.4f} -> "
+                f"{item.evaluation.objective:+.4f} with "
+                f"{len(item.deltas)} deltas "
+                f"({item.evals_used} evaluations)"
+            )
+        corpus = corpus_from_run(config, minimized)
+        for evaluation in result.findings[top:]:
+            corpus.add(Finding.from_evaluation(evaluation, config.base))
+        corpus.save(args.out)
+        print(_format_corpus(corpus))
+        print(f"[fuzz] corpus written to {args.out}")
+        return 0
+
+    if args.fuzz_command == "replay":
+        corpus = FindingsCorpus.load(args.corpus)
+        targets = (
+            [corpus.get(args.id)] if args.id else list(corpus.findings)
+        )
+        if not targets:
+            print("error: corpus has no findings", file=sys.stderr)
+            return 1
+        policy = _fuzz_policy(args)
+        failures = 0
+        for finding in targets:
+            report = replay_finding(finding, policy)
+            if report.ok:
+                print(
+                    f"[replay] {finding.id[:12]} OK "
+                    f"obj={report.evaluation.objective:+.4f} "
+                    f"trace={finding.trace_hash[:12]}"
+                )
+            else:
+                failures += 1
+                print(f"[replay] {finding.id[:12]} MISMATCH")
+                for line in report.mismatches:
+                    print(f"  {line}")
+        return 1 if failures else 0
+
+    if args.fuzz_command == "minimize":
+        corpus = FindingsCorpus.load(args.corpus)
+        targets = (
+            [corpus.get(args.id)] if args.id else list(corpus.findings)
+        )
+        if not targets:
+            print("error: corpus has no findings", file=sys.stderr)
+            return 1
+        policy = _fuzz_policy(args)
+        for finding in targets:
+            space = ParameterSpace.default(finding.base)
+            config = FuzzConfig(
+                base=finding.base,
+                seed=corpus.meta.get("seed", 1),
+                total_uops=finding.total_uops,
+                length_uops=finding.length_uops,
+                min_gain=args.min_gain,
+            )
+            report = replay_finding(finding, policy)
+            item = minimize_evaluation(
+                space, report.evaluation, config, policy
+            )
+            corpus.findings.remove(finding)
+            corpus.add(Finding.from_minimization(item, finding.base))
+            print(
+                f"[minimize] {finding.id[:12]}: "
+                f"{item.evaluation.objective:+.4f} with "
+                f"{len(item.deltas)} deltas"
+            )
+        corpus.save(args.corpus)
+        print(f"[minimize] corpus rewritten: {args.corpus}")
+        return 0
+
+    # report
+    corpus = FindingsCorpus.load(args.corpus)
+    print(_format_corpus(corpus))
+    return 0
+
+
+def _format_corpus(corpus) -> str:
+    """Human-readable corpus table (id, rates, deltas)."""
+    from repro.common.tables import format_table
+
+    rows = []
+    for finding in corpus.findings:
+        deltas = ",".join(sorted(finding.deltas)) or "(raw)"
+        rows.append([
+            finding.id[:12],
+            100 * finding.tc_hit_rate,
+            100 * finding.xbc_hit_rate,
+            100 * finding.objective,
+            len(finding.deltas),
+            deltas,
+        ])
+    if not rows:
+        return "(empty findings corpus)"
+    meta = corpus.meta
+    title = (
+        f"Findings corpus — base={meta.get('base', '?')} "
+        f"seed={meta.get('seed', '?')} "
+        f"budget={meta.get('budget', '?')}"
+    )
+    return format_table(
+        ["finding", "TC hit %", "XBC hit %", "TC-XBC pp", "n", "deltas"],
+        rows,
+        title=title,
+    )
 
 
 def _print_perf_info() -> None:

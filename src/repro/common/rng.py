@@ -12,10 +12,35 @@ forked without correlating with the parent stream.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from functools import lru_cache
 from math import log
 from typing import List, Sequence, Tuple, TypeVar
 
 T = TypeVar("T")
+
+
+@lru_cache(maxsize=4096)
+def _zipf_thresholds(count: int, skew: float) -> Tuple[float, Tuple[float, ...]]:
+    """Cumulative Zipf weights for ``zipf_choice`` (memoized).
+
+    Computed with exactly the float-accumulation order of
+    ``zipf_weights`` + ``weighted_choice``, so a cached draw picks the
+    identical item for the identical uniform draw — the cache is purely
+    a speed optimization (the old per-call recompute made callee
+    assignment O(n^2) in the function count, the server-profile
+    generation hot spot).
+    """
+    raw = [1.0 / (rank**skew) for rank in range(1, count + 1)]
+    raw_total = sum(raw)
+    weights = [w / raw_total for w in raw]
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight
+        cumulative.append(acc)
+    return total, tuple(cumulative)
 
 # A large odd constant used to decorrelate forked substreams.  The exact
 # value is irrelevant; it only needs to be fixed and odd.
@@ -137,6 +162,16 @@ class DeterministicRng:
         return [w / total for w in raw]
 
     def zipf_choice(self, items: Sequence[T], skew: float = 1.0) -> T:
-        """Choose from *items* with Zipf-decaying popularity by position."""
-        weights = self.zipf_weights(len(items), skew)
-        return self.weighted_choice(list(zip(items, weights)))
+        """Choose from *items* with Zipf-decaying popularity by position.
+
+        Draw-for-draw identical to
+        ``weighted_choice(zip(items, zipf_weights(len(items), skew)))``
+        but with the cumulative thresholds memoized per (count, skew)
+        and the scan replaced by a bisect.
+        """
+        total, cumulative = _zipf_thresholds(len(items), skew)
+        point = (self._rng or self._materialize()).random() * total
+        index = bisect_right(cumulative, point)
+        if index >= len(items):
+            index = len(items) - 1
+        return items[index]

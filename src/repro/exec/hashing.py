@@ -25,7 +25,9 @@ from repro import __version__
 #: Schema generation of the cached result/trace payloads.  Bump on any
 #: change to how results are encoded or how simulations behave when the
 #: package version stays the same (e.g. during development).
-RESULT_SCHEMA = 2
+#: 3: TraceSpec grew the optional embedded ``profile`` (fuzz candidates),
+#: which changes every spec's canonical form.
+RESULT_SCHEMA = 3
 
 #: Version string folded into every cache key.
 CODE_VERSION = f"{__version__}+schema{RESULT_SCHEMA}"

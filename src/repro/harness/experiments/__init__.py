@@ -5,7 +5,9 @@
 - :mod:`repro.harness.experiments.fig9` — miss rate vs cache size;
 - :mod:`repro.harness.experiments.fig10` — miss rate vs associativity;
 - :mod:`repro.harness.experiments.claims` — the §4/§5 in-text claims;
-- :mod:`repro.harness.experiments.ablations` — §3 design alternatives.
+- :mod:`repro.harness.experiments.ablations` — §3 design alternatives;
+- :mod:`repro.harness.experiments.scenario` — the widened XBC-vs-TC
+  matrix (paper suites + server family + fuzz findings).
 
 Each module exposes ``run_*`` returning a result object and
 ``format_*`` rendering the same rows/series the paper plots.
@@ -17,6 +19,11 @@ from repro.harness.experiments.fig9 import run_fig9, format_fig9, Fig9Result
 from repro.harness.experiments.fig10 import run_fig10, format_fig10, Fig10Result
 from repro.harness.experiments.claims import run_claims, format_claims, ClaimsResult
 from repro.harness.experiments.ablations import run_ablations, format_ablations, AblationRow
+from repro.harness.experiments.scenario import (
+    run_scenario_matrix,
+    format_scenario_matrix,
+    ScenarioRow,
+)
 
 __all__ = [
     "run_fig1", "format_fig1", "Fig1Result",
@@ -25,4 +32,5 @@ __all__ = [
     "run_fig10", "format_fig10", "Fig10Result",
     "run_claims", "format_claims", "ClaimsResult",
     "run_ablations", "format_ablations", "AblationRow",
+    "run_scenario_matrix", "format_scenario_matrix", "ScenarioRow",
 ]

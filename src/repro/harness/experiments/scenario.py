@@ -1,0 +1,147 @@
+"""The widened XBC-vs-TC scenario matrix.
+
+The paper's Table compares the structures on its three suites — all
+XBC-friendly territory.  This experiment widens the matrix with the
+server profile family (huge instruction footprints) and the minimized
+fuzz findings (adversarial corners where the TC wins), putting the
+boundary of the XBC's advantage on one table: uop hit rate for both
+structures at an equal budget, per trace, with group means.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.tables import format_table
+from repro.exec.engine import ExecPolicy, execute_jobs
+from repro.exec.job import SimJob
+from repro.frontend.config import FrontendConfig
+from repro.harness.registry import (
+    TraceSpec,
+    default_registry,
+    server_registry,
+)
+from repro.scenario.findings import Finding
+from repro.scenario.space import ParameterSpace
+
+
+@dataclass
+class ScenarioRow:
+    """One scenario's hit rates under both structures."""
+
+    name: str
+    #: "suite" (paper registry), "server", or "finding".
+    group: str
+    tc_hit: float
+    xbc_hit: float
+
+    @property
+    def delta(self) -> float:
+        """XBC − TC uop hit rate (negative = inversion)."""
+        return self.xbc_hit - self.tc_hit
+
+    @property
+    def inverted(self) -> bool:
+        """True when the TC out-hits the XBC on this scenario."""
+        return self.tc_hit > self.xbc_hit
+
+
+def finding_spec(finding: Finding) -> TraceSpec:
+    """The exact TraceSpec a finding's recipe denotes."""
+    space = ParameterSpace.default(finding.base)
+    profile, static_uops = space.build(finding.point, clamp=False)
+    return TraceSpec(
+        suite=f"fuzz-{finding.base}",
+        index=0,
+        seed=finding.program_seed,
+        static_uops=static_uops,
+        length_uops=finding.length_uops,
+        profile=profile,
+    )
+
+
+def run_scenario_matrix(
+    suite_specs: Optional[List[TraceSpec]] = None,
+    server_specs: Optional[List[TraceSpec]] = None,
+    findings: Sequence[Finding] = (),
+    total_uops: int = 8192,
+    fe_config: Optional[FrontendConfig] = None,
+    policy: Optional[ExecPolicy] = None,
+) -> List[ScenarioRow]:
+    """Measure TC and XBC hit rates across the widened matrix.
+
+    Passing an explicit empty list for *suite_specs*/*server_specs*
+    drops that group; ``None`` means the default registry for it.
+    """
+    if suite_specs is None:
+        suite_specs = default_registry()
+    if server_specs is None:
+        server_specs = server_registry()
+    fe = fe_config or FrontendConfig()
+
+    entries: List[tuple] = []
+    for spec in suite_specs:
+        entries.append((spec.name, "suite", spec))
+    for spec in server_specs:
+        entries.append((spec.name, "server", spec))
+    for finding in findings:
+        entries.append((f"finding-{finding.id[:8]}", "finding",
+                        finding_spec(finding)))
+
+    jobs = [
+        SimJob(frontend=kind, spec=spec, fe_config=fe,
+               total_uops=total_uops)
+        for _, _, spec in entries
+        for kind in ("tc", "xbc")
+    ]
+    outcomes = iter(execute_jobs(jobs, policy, label="scenario"))
+    rows: List[ScenarioRow] = []
+    for name, group, _ in entries:
+        tc = next(outcomes).value
+        xbc = next(outcomes).value
+        rows.append(
+            ScenarioRow(
+                name=name,
+                group=group,
+                tc_hit=tc.uop_hit_rate,
+                xbc_hit=xbc.uop_hit_rate,
+            )
+        )
+    return rows
+
+
+def _group_means(rows: List[ScenarioRow]) -> List[ScenarioRow]:
+    means: List[ScenarioRow] = []
+    for group in ("suite", "server", "finding"):
+        members = [r for r in rows if r.group == group]
+        if not members:
+            continue
+        means.append(
+            ScenarioRow(
+                name=f"MEAN:{group}",
+                group=group,
+                tc_hit=sum(r.tc_hit for r in members) / len(members),
+                xbc_hit=sum(r.xbc_hit for r in members) / len(members),
+            )
+        )
+    return means
+
+
+def format_scenario_matrix(
+    rows: List[ScenarioRow], total_uops: int = 8192
+) -> str:
+    """Render the matrix with per-group means and inversion flags."""
+    table_rows = [
+        [r.name, r.group, 100 * r.tc_hit, 100 * r.xbc_hit,
+         100 * r.delta, "INVERSION" if r.inverted else ""]
+        for r in rows + _group_means(rows)
+    ]
+    return format_table(
+        ["scenario", "group", "TC hit %", "XBC hit %", "XBC-TC pp", ""],
+        table_rows,
+        title=(
+            f"Scenario matrix — uop hit rate at {total_uops}-uop budget "
+            "(paper suites / server family / fuzz findings)"
+        ),
+    )

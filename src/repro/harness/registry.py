@@ -18,7 +18,13 @@ from typing import Dict, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.program.generator import generate_program
-from repro.program.profiles import SUITE_NAMES, profile_for_suite
+from repro.program.profiles import (
+    PROFILE_STATIC_UOPS,
+    SERVER_NAMES,
+    SUITE_NAMES,
+    WorkloadProfile,
+    profile_by_name,
+)
 from repro.trace.executor import execute_program
 from repro.trace.record import Trace
 
@@ -27,8 +33,11 @@ PAPER_COUNTS: Dict[str, int] = {"specint": 8, "sysmark": 8, "games": 5}
 
 #: Baseline static footprint (uops) per suite, before per-index variation.
 #: SYSmark's flat, large footprint versus the games' small hot core is
-#: what differentiates the suites' miss-rate behaviour.
-STATIC_UOPS: Dict[str, int] = {"specint": 9000, "sysmark": 16000, "games": 6000}
+#: what differentiates the suites' miss-rate behaviour.  (A view of the
+#: profile registry's targets, kept under its historical name.)
+STATIC_UOPS: Dict[str, int] = {
+    suite: PROFILE_STATIC_UOPS[suite] for suite in SUITE_NAMES
+}
 
 #: Default dynamic trace length in uops (scaled from the paper's 30M
 #: instructions; ratios, not absolute counts, are what the figures use).
@@ -37,13 +46,22 @@ DEFAULT_LENGTH = 150_000
 
 @dataclass(frozen=True)
 class TraceSpec:
-    """Deterministic recipe for one synthetic trace."""
+    """Deterministic recipe for one synthetic trace.
+
+    ``suite`` names the generating profile — one of the paper suites,
+    a server-family profile, or any registered profile name.  A fuzzer
+    candidate instead carries its (ad-hoc) profile inline in
+    ``profile``, which then takes precedence over the name lookup; the
+    embedded profile is part of the spec's cache identity, so two
+    candidates differing in any tunable never share a trace.
+    """
 
     suite: str
     index: int
     seed: int
     static_uops: int
     length_uops: int
+    profile: Optional[WorkloadProfile] = None
 
     @property
     def name(self) -> str:
@@ -76,6 +94,79 @@ def registry_spec(
         static_uops=static,
         length_uops=length_uops,
     )
+
+
+def scenario_spec(
+    profile_name: str,
+    index: int = 0,
+    length_uops: int = DEFAULT_LENGTH,
+    static_uops: Optional[int] = None,
+) -> TraceSpec:
+    """The spec for one trace of *any* registered profile.
+
+    Paper suites delegate to :func:`registry_spec` (same seeds, same
+    cache keys); other registered profiles — the server family in
+    particular — get their own deterministic seed formula and default
+    to the profile's native footprint target (overridable with
+    *static_uops*, e.g. to scale a CI smoke run down).
+    """
+    if profile_name in SUITE_NAMES:
+        if static_uops is not None:
+            base = registry_spec(profile_name, index, length_uops)
+            return TraceSpec(
+                suite=base.suite, index=base.index, seed=base.seed,
+                static_uops=static_uops, length_uops=length_uops,
+            )
+        return registry_spec(profile_name, index, length_uops)
+    profile_by_name(profile_name)  # raises ConfigError on unknown names
+    if index < 0:
+        raise ConfigError(f"trace index must be >= 0, got {index}")
+    base = static_uops
+    if base is None:
+        target = PROFILE_STATIC_UOPS.get(profile_name)
+        if target is None:
+            raise ConfigError(
+                f"profile {profile_name!r} has no static footprint target; "
+                "pass static_uops explicitly"
+            )
+        # Mild per-index variation, like the suite formula's but gentler:
+        # server binaries of one family differ less than benchmark picks.
+        base = round(target * (0.90 + 0.10 * index))
+    ordinal = (
+        SERVER_NAMES.index(profile_name)
+        if profile_name in SERVER_NAMES
+        else 7 + sum(ord(ch) for ch in profile_name) % 89
+    )
+    return TraceSpec(
+        suite=profile_name,
+        index=index,
+        seed=7000 + 1000 * ordinal + 17 * index + 5,
+        static_uops=base,
+        length_uops=length_uops,
+    )
+
+
+def server_registry(
+    traces_per_profile: int = 1,
+    length_uops: int = DEFAULT_LENGTH,
+    static_uops: Optional[int] = None,
+    profiles: Optional[List[str]] = None,
+) -> List[TraceSpec]:
+    """Specs covering the server profile family.
+
+    *static_uops* (when given) overrides every profile's native
+    footprint target — the handle CI smoke paths use to keep server
+    traces cheap while exercising the same machinery.
+    """
+    specs: List[TraceSpec] = []
+    for name in profiles or list(SERVER_NAMES):
+        for index in range(traces_per_profile):
+            specs.append(
+                scenario_spec(
+                    name, index, length_uops, static_uops=static_uops
+                )
+            )
+    return specs
 
 
 def default_registry(
@@ -158,7 +249,11 @@ def make_trace(spec: TraceSpec) -> Trace:
         if stored is not None:
             _TRACE_CACHE[spec] = stored
             return stored
-    profile = profile_for_suite(spec.suite).scaled(spec.static_uops)
+    profile = (
+        spec.profile if spec.profile is not None
+        else profile_by_name(spec.suite)
+    ).scaled(spec.static_uops)
+    profile.validate()  # embedded (fuzzer) profiles fail here, not mid-gen
     program = generate_program(
         profile, seed=spec.seed, name=spec.name, suite=spec.suite
     )

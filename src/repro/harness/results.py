@@ -17,6 +17,7 @@ from repro.harness.experiments.fig1 import Fig1Result
 from repro.harness.experiments.fig8 import Fig8Row
 from repro.harness.experiments.fig9 import Fig9Result
 from repro.harness.experiments.fig10 import Fig10Result
+from repro.harness.experiments.scenario import ScenarioRow
 from repro.harness.sweep import SweepRow
 
 Table = Tuple[List[str], List[List[object]]]
@@ -109,6 +110,17 @@ def sweep_table(rows_in: Sequence[SweepRow]) -> Table:
     rows = [
         [row.label(), row.miss_rate, row.delivery_bandwidth,
          row.fetch_bandwidth, row.valid]
+        for row in rows_in
+    ]
+    return headers, rows
+
+
+def scenario_table(rows_in: Sequence[ScenarioRow]) -> Table:
+    """Flatten the widened scenario matrix."""
+    headers = ["scenario", "group", "tc_hit", "xbc_hit", "delta", "inverted"]
+    rows = [
+        [row.name, row.group, row.tc_hit, row.xbc_hit, row.delta,
+         row.inverted]
         for row in rows_in
     ]
     return headers, rows

@@ -108,11 +108,21 @@ class ProgramGenerator:
         # main calls every level-1 function: this is the outer phase loop.
         callees[0] = list(by_level.get(1, []))
 
-        for fid in range(1, len(levels)):
-            level = levels[fid]
-            candidates = [
+        # Candidate sets depend only on the caller's level, so build the
+        # "functions deeper than L" lists once per level (ascending fid,
+        # matching the old per-function scan exactly) instead of doing
+        # an O(n) scan per function — O(n^2) at server function counts.
+        max_level = max(levels) if levels else 0
+        deeper_than: Dict[int, List[int]] = {
+            level: [
                 g for g in range(1, len(levels)) if levels[g] > level
             ]
+            for level in range(max_level + 1)
+        }
+
+        for fid in range(1, len(levels)):
+            level = levels[fid]
+            candidates = deeper_than[level]
             if not candidates:
                 continue  # leaf function
             want = rng.geometric(p.mean_callees_per_function, lo=1, hi=6)
@@ -128,17 +138,21 @@ class ProgramGenerator:
             callees[fid] = chosen
 
         # Coverage fix: every non-main function should be reachable from
-        # some shallower caller, otherwise it is pure dead code.
+        # some shallower caller, otherwise it is pure dead code.  Same
+        # per-level precompute as above (main, level 0, included here).
+        shallower_than: Dict[int, List[int]] = {
+            level: [
+                g for g in range(len(levels)) if levels[g] < level
+            ]
+            for level in range(1, max_level + 1)
+        }
         covered = set()
         for cs in callees:
             covered.update(cs)
         for fid in range(1, len(levels)):
             if fid in covered:
                 continue
-            shallower = [
-                g for g in range(len(levels)) if levels[g] < levels[fid]
-            ]
-            caller = rng.choice(shallower)
+            caller = rng.choice(shallower_than[levels[fid]])
             callees[caller].append(fid)
         return callees
 

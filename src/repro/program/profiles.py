@@ -15,6 +15,17 @@ plus the qualitative suite characters the frontend literature records:
 SPECint is loop-regular and predictable, SYSmark (Win95 office/OS mix)
 has a large flat code footprint with frequent calls and indirect
 dispatch, and games sit in between with hot numeric loops.
+
+Beyond the paper's three suites, the module registers a **server
+family** (``server-oltp``, ``server-web``, ``server-micro``): the
+multi-megabyte, deep-call-graph, indirect-heavy, flat-branch-bias
+regime the paper never measures but the frontend literature
+(FDIP-Revisited, Micro BTB) identifies as where decoupled frontends
+collapse.  All profiles live in one registry —
+:func:`registered_profiles` / :func:`profile_by_name` — that the trace
+registry, the ``repro info`` report and the ``repro fuzz`` scenario
+search share; registration validates, so a malformed profile fails at
+definition time instead of deep inside the generator.
 """
 
 from __future__ import annotations
@@ -26,6 +37,11 @@ from repro.common.errors import ConfigError
 
 #: Canonical suite names, in the order the paper lists them.
 SUITE_NAMES: Tuple[str, str, str] = ("specint", "sysmark", "games")
+
+#: The server-class profile family (see module docstring).
+SERVER_NAMES: Tuple[str, str, str] = (
+    "server-oltp", "server-web", "server-micro"
+)
 
 
 @dataclass(frozen=True)
@@ -119,7 +135,12 @@ class WorkloadProfile:
     mean_function_gap_bytes: float = 1200.0
 
     def validate(self) -> None:
-        """Raise :class:`ConfigError` for out-of-range tunables."""
+        """Raise :class:`ConfigError` for out-of-range tunables.
+
+        Called at profile registration and by the fuzzer before every
+        candidate generation, so a malformed profile fails here with a
+        parameter name instead of deep inside the generator.
+        """
         if self.num_functions < 2:
             raise ConfigError("need at least 2 functions (main + one callee)")
         if self.min_blocks_per_function < 2:
@@ -128,12 +149,36 @@ class WorkloadProfile:
             raise ConfigError("max_blocks_per_function < min_blocks_per_function")
         if self.max_call_depth < 1:
             raise ConfigError("max_call_depth must be >= 1")
-        term_mix = (
-            self.p_cond + self.p_jump + self.p_call
-            + self.p_indirect + self.p_indirect_call
-        )
-        if abs(term_mix - 1.0) > 1e-6:
-            raise ConfigError(f"terminator mix sums to {term_mix}, expected 1.0")
+        # Every mean the generator feeds a geometric/Poisson draw must
+        # be positive (gap means may be zero: "no gap" is meaningful).
+        for name in (
+            "mean_blocks_per_function", "mean_body_instrs",
+            "mean_callees_per_function", "mean_loop_trip",
+            "mean_loop_body", "mean_indirect_targets",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be > 0")
+        for name in ("mean_loop_gap", "mean_function_gap_bytes"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        # Terminator mix: individually in [0, 1], summing to at most 1
+        # (the generator normalizes by the actual sum, so a sub-unit
+        # sum scales every weight up proportionally; a super-unit sum
+        # is always a config bug).
+        term_mix = 0.0
+        for name in (
+            "p_cond", "p_jump", "p_call", "p_indirect", "p_indirect_call"
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {p}")
+            term_mix += p
+        if term_mix <= 0.0:
+            raise ConfigError("terminator mix sums to 0; nothing to draw")
+        if term_mix > 1.0 + 1e-6:
+            raise ConfigError(
+                f"terminator mix sums to {term_mix}, expected <= 1.0"
+            )
         if self.mean_loop_trip < 1.0:
             raise ConfigError("mean_loop_trip must be >= 1")
         if self.mean_loop_body < 1.0:
@@ -144,6 +189,13 @@ class WorkloadProfile:
             raise ConfigError("p_loop_escape out of range")
         if not 0.0 < self.escape_rate < 0.5:
             raise ConfigError("escape_rate must be in (0, 0.5)")
+        if not self.uops_per_instr:
+            raise ConfigError("uops_per_instr must be non-empty")
+        for uops, weight in self.uops_per_instr:
+            if uops < 1 or weight < 0:
+                raise ConfigError(
+                    "uops_per_instr entries need uops >= 1, weight >= 0"
+                )
         weights = sum(w for _, w in self.cond_mixture)
         if abs(weights - 1.0) > 1e-6:
             raise ConfigError(f"cond mixture sums to {weights}, expected 1.0")
@@ -152,6 +204,55 @@ class WorkloadProfile:
         lo, hi = self.biased_range
         if not 0.0 < lo <= hi < 1.0:
             raise ConfigError("biased_range must satisfy 0 < lo <= hi < 1")
+        # Remaining min <= max / positive-bound sanity checks.
+        if self.max_body_instrs < 1:
+            raise ConfigError("max_body_instrs must be >= 1")
+        if self.max_indirect_targets < 2:
+            raise ConfigError("max_indirect_targets must be >= 2")
+        if self.max_mean_trip < 3:
+            raise ConfigError("max_mean_trip must be >= 3")
+        if self.pattern_max_period < 2:
+            raise ConfigError("pattern_max_period must be >= 2")
+        if self.max_forward_jump_blocks < 1:
+            raise ConfigError("max_forward_jump_blocks must be >= 1")
+        if self.max_backedge_span < 1:
+            raise ConfigError("max_backedge_span must be >= 1")
+
+    # -- derived shape statistics (estimates, no generation) -----------------
+
+    def mean_uops_per_instr(self) -> float:
+        """Expected uops of one non-branch instruction."""
+        total = sum(w for _, w in self.uops_per_instr)
+        return sum(u * w for u, w in self.uops_per_instr) / total
+
+    def mean_block_uops(self) -> float:
+        """Expected uops per basic block (body + terminator)."""
+        return self.mean_body_instrs * self.mean_uops_per_instr() + 1.3
+
+    def terminator_shares(self) -> Dict[str, float]:
+        """Normalized terminator mix (the generator draws from this)."""
+        raw = {
+            "cond": self.p_cond,
+            "jump": self.p_jump,
+            "call": self.p_call,
+            "indirect": self.p_indirect,
+            "indirect_call": self.p_indirect_call,
+        }
+        total = sum(raw.values()) or 1.0
+        return {name: p / total for name, p in raw.items()}
+
+    def indirect_rate(self) -> float:
+        """Share of block terminators that are indirect (jump or call)."""
+        shares = self.terminator_shares()
+        return shares["indirect"] + shares["indirect_call"]
+
+    def estimated_static_uops(self) -> float:
+        """Expected static footprint in uops at this function count."""
+        return (
+            self.num_functions
+            * self.mean_blocks_per_function
+            * self.mean_block_uops()
+        )
 
     def scaled(self, static_uops_target: int) -> "WorkloadProfile":
         """Return a copy whose function count targets a static footprint.
@@ -249,11 +350,190 @@ _PROFILES: Dict[str, WorkloadProfile] = {
 }
 
 
-def profile_for_suite(suite: str) -> WorkloadProfile:
-    """The preset profile of a suite; raises :class:`ConfigError` if unknown."""
+#: The server family: the regime the paper's suites never reach.
+#: Common character — multi-megabyte instruction working sets (the
+#: registry scales them to the targets in :data:`PROFILE_STATIC_UOPS`),
+#: deep call chains through many small functions, high indirect and
+#: indirect-call rates (dispatch tables, vtables, RPC demux), sparse
+#: short-trip loops, and a *flat* branch-bias histogram: most
+#: conditionals live in the 50–85% band instead of the paper suites'
+#: 0/100% spikes.  Calibrated by tests/program/test_server_profiles.py.
+_SERVER_PROFILES: Dict[str, WorkloadProfile] = {
+    # OLTP database engine: B-tree descent, latch/lock checks, row
+    # format dispatch.  Deep chains, data-dependent branches.
+    "server-oltp": WorkloadProfile(
+        name="server-oltp",
+        num_functions=3400,
+        mean_blocks_per_function=9.0,
+        min_blocks_per_function=3,
+        max_blocks_per_function=40,
+        max_call_depth=12,
+        mean_callees_per_function=3.5,
+        callee_popularity_skew=1.0,
+        mean_body_instrs=4.2,
+        p_cond=0.62,
+        p_jump=0.09,
+        p_call=0.17,
+        p_indirect=0.06,
+        p_indirect_call=0.06,
+        mean_loop_gap=6.0,
+        mean_loop_body=2.0,
+        p_nested_loop=0.08,
+        mean_loop_trip=3.5,
+        cond_mixture=(
+            ("monotonic", 0.12),
+            ("biased", 0.36),
+            ("pattern", 0.10),
+            ("random", 0.42),
+        ),
+        monotonic_bias=0.98,
+        biased_range=(0.55, 0.85),
+        mean_indirect_targets=6.0,
+        max_indirect_targets=10,
+        indirect_skew=0.8,
+        mean_function_gap_bytes=450.0,
+    ),
+    # Web/application server: request parse -> route -> handler -> render.
+    # Largest footprint of the family, slightly shallower chains.
+    "server-web": WorkloadProfile(
+        name="server-web",
+        num_functions=3800,
+        mean_blocks_per_function=11.0,
+        min_blocks_per_function=3,
+        max_blocks_per_function=44,
+        max_call_depth=9,
+        mean_callees_per_function=3.0,
+        callee_popularity_skew=1.05,
+        mean_body_instrs=4.8,
+        p_cond=0.66,
+        p_jump=0.10,
+        p_call=0.15,
+        p_indirect=0.05,
+        p_indirect_call=0.04,
+        mean_loop_gap=5.0,
+        mean_loop_body=2.5,
+        p_nested_loop=0.10,
+        mean_loop_trip=4.5,
+        cond_mixture=(
+            ("monotonic", 0.18),
+            ("biased", 0.38),
+            ("pattern", 0.12),
+            ("random", 0.32),
+        ),
+        monotonic_bias=0.98,
+        biased_range=(0.60, 0.88),
+        mean_indirect_targets=5.0,
+        max_indirect_targets=10,
+        indirect_skew=1.0,
+        mean_function_gap_bytes=520.0,
+    ),
+    # Microservice RPC stack: deserialize -> dispatch -> serialize.
+    # Deepest chains, highest indirect-call rate, smallest blocks.
+    "server-micro": WorkloadProfile(
+        name="server-micro",
+        num_functions=3300,
+        mean_blocks_per_function=7.0,
+        min_blocks_per_function=3,
+        max_blocks_per_function=32,
+        max_call_depth=14,
+        mean_callees_per_function=4.0,
+        callee_popularity_skew=0.9,
+        mean_body_instrs=3.6,
+        p_cond=0.58,
+        p_jump=0.08,
+        p_call=0.19,
+        p_indirect=0.07,
+        p_indirect_call=0.08,
+        mean_loop_gap=7.0,
+        mean_loop_body=1.8,
+        p_nested_loop=0.05,
+        mean_loop_trip=3.0,
+        cond_mixture=(
+            ("monotonic", 0.10),
+            ("biased", 0.34),
+            ("pattern", 0.12),
+            ("random", 0.44),
+        ),
+        monotonic_bias=0.98,
+        biased_range=(0.52, 0.82),
+        mean_indirect_targets=7.0,
+        max_indirect_targets=12,
+        indirect_skew=0.7,
+        mean_function_gap_bytes=380.0,
+    ),
+}
+
+#: Native static-footprint target (uops) per registered profile.  The
+#: suite values mirror the trace registry's scaled defaults; the server
+#: values put the *code* footprint in the multi-megabyte band the
+#: family models (~1.4 uops/instr, ~3.8 bytes/instr: 300k static uops
+#: is roughly 0.8 MB of instructions plus inter-function padding).
+PROFILE_STATIC_UOPS: Dict[str, int] = {
+    "specint": 9000,
+    "sysmark": 16000,
+    "games": 6000,
+    "server-oltp": 280_000,
+    "server-web": 340_000,
+    "server-micro": 230_000,
+}
+
+
+def _register_builtins() -> Dict[str, WorkloadProfile]:
+    registry: Dict[str, WorkloadProfile] = {}
+    for name, profile in {**_PROFILES, **_SERVER_PROFILES}.items():
+        profile.validate()
+        registry[name] = profile
+    return registry
+
+
+_REGISTERED: Dict[str, WorkloadProfile] = _register_builtins()
+
+#: Every registered profile name: the paper suites then the server family.
+PROFILE_NAMES: Tuple[str, ...] = SUITE_NAMES + SERVER_NAMES
+
+
+def registered_profiles() -> Dict[str, WorkloadProfile]:
+    """Snapshot of the profile registry (name -> profile)."""
+    return dict(_REGISTERED)
+
+
+def register_profile(
+    profile: WorkloadProfile, static_uops: int | None = None
+) -> WorkloadProfile:
+    """Add *profile* to the registry, validating it first.
+
+    Tests and experiments use this to introduce ad-hoc profiles; a
+    name collision or an invalid profile raises :class:`ConfigError`
+    immediately rather than at first generation.
+    """
+    profile.validate()
+    if not profile.name:
+        raise ConfigError("profile needs a non-empty name")
+    if profile.name in _REGISTERED:
+        raise ConfigError(f"profile {profile.name!r} is already registered")
+    if static_uops is not None:
+        if static_uops < 100:
+            raise ConfigError("static_uops target must be >= 100")
+        PROFILE_STATIC_UOPS[profile.name] = static_uops
+    _REGISTERED[profile.name] = profile
+    return profile
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up any registered profile (suite or server family)."""
     try:
-        return _PROFILES[suite]
+        return _REGISTERED[name]
     except KeyError:
         raise ConfigError(
-            f"unknown suite {suite!r}; expected one of {', '.join(SUITE_NAMES)}"
+            f"unknown profile {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTERED))}"
         ) from None
+
+
+def profile_for_suite(suite: str) -> WorkloadProfile:
+    """The preset profile of a suite; raises :class:`ConfigError` if unknown."""
+    if suite not in SUITE_NAMES:
+        raise ConfigError(
+            f"unknown suite {suite!r}; expected one of {', '.join(SUITE_NAMES)}"
+        )
+    return _PROFILES[suite]

@@ -1,0 +1,52 @@
+"""Adversarial scenario exploration: where does the XBC *lose*?
+
+The paper's workloads (and our server family) are friendly territory
+for the XBC — short blocks and many entry points are exactly what
+extended blocks compress better than traces.  This package searches the
+generator's parameter space for the opposite regime: profiles where the
+trace cache's uop hit rate *exceeds* the XBC's at an equal uop budget
+("inversions").
+
+- :mod:`repro.scenario.space` — the bounded parameter space over
+  :class:`~repro.program.profiles.WorkloadProfile` tunables;
+- :mod:`repro.scenario.search` — seeded random-walk + hill-climb search
+  maximizing ``tc_hit_rate − xbc_hit_rate``;
+- :mod:`repro.scenario.minimize` — delta-debugging-style reduction of a
+  finding to the fewest parameter deltas that preserve the inversion;
+- :mod:`repro.scenario.findings` — the JSON findings corpus with exact
+  seeds and hashes for bit-identical replay.
+"""
+
+from repro.scenario.findings import (
+    CORPUS_SCHEMA,
+    Finding,
+    FindingsCorpus,
+    ReplayReport,
+    replay_finding,
+)
+from repro.scenario.minimize import MinimizeResult, minimize_evaluation
+from repro.scenario.search import (
+    Evaluation,
+    FuzzConfig,
+    SearchResult,
+    evaluate_point,
+    run_search,
+)
+from repro.scenario.space import Param, ParameterSpace
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "Evaluation",
+    "Finding",
+    "FindingsCorpus",
+    "FuzzConfig",
+    "MinimizeResult",
+    "Param",
+    "ParameterSpace",
+    "ReplayReport",
+    "SearchResult",
+    "evaluate_point",
+    "minimize_evaluation",
+    "replay_finding",
+    "run_search",
+]

@@ -1,0 +1,119 @@
+"""Delta-debugging-style minimization of fuzz findings.
+
+A raw finding from the search typically differs from the base profile
+in every dimension — random sampling touches everything.  Minimization
+reduces it to the smallest set of parameter deltas that still produces
+the inversion, which is what turns "the fuzzer found a weird point"
+into "flat branch bias plus a 4x footprint is what breaks the XBC
+here".
+
+The algorithm is the classic greedy 1-minimal loop: try reverting each
+deviating parameter to its base value (one evaluation per trial), keep
+any revert that preserves ``objective > margin``, and repeat until a
+full pass keeps nothing.  Evaluations route through the same cached
+job engine as the search, so re-minimizing a stored finding is nearly
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.exec.engine import ExecPolicy
+from repro.scenario.search import Evaluation, FuzzConfig, evaluate_point
+from repro.scenario.space import ParameterSpace, Point
+
+#: Relative tolerance deciding whether a parameter deviates from base.
+_SAME_RTOL = 1e-9
+
+
+def _differs(value: float, base_value: float) -> bool:
+    scale = max(abs(value), abs(base_value), 1.0)
+    return abs(value - base_value) > _SAME_RTOL * scale
+
+
+@dataclass
+class MinimizeResult:
+    """A minimized point plus the deltas that carry the inversion."""
+
+    evaluation: Evaluation
+    #: parameters still deviating from base, with their kept values.
+    deltas: Dict[str, float] = field(default_factory=dict)
+    #: evaluations spent (cache hits included).
+    evals_used: int = 0
+    #: trial reverts the generator refused outright.
+    invalid_trials: int = 0
+
+
+#: Progress callback: (trial parameter name, kept, current evaluation).
+ProgressFn = Callable[[str, bool, Evaluation], None]
+
+
+def minimize_evaluation(
+    space: ParameterSpace,
+    evaluation: Evaluation,
+    config: FuzzConfig,
+    policy: Optional[ExecPolicy] = None,
+    margin: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> MinimizeResult:
+    """Reduce *evaluation*'s point to 1-minimal deltas from base.
+
+    *margin* defaults to ``config.min_gain`` — a revert is kept only
+    while the objective stays above it, so the minimized finding is
+    still a finding by the search's own standard.  Deterministic:
+    parameters are tried in the space's declared order.
+    """
+    floor = config.min_gain if margin is None else margin
+    if evaluation.objective <= floor:
+        raise ConfigError(
+            "cannot minimize: evaluation objective "
+            f"{evaluation.objective:+.4f} is not above the margin {floor:+.4f}"
+        )
+    base_point = space.point_from_base()
+    program_seed = evaluation.spec.seed
+
+    def measure(point: Point) -> Evaluation:
+        return evaluate_point(
+            space, point,
+            program_seed=program_seed,
+            total_uops=config.total_uops,
+            length_uops=evaluation.spec.length_uops,
+            policy=policy,
+        )
+
+    current = dict(evaluation.point)
+    best = evaluation
+    deviating: List[str] = [
+        param.name for param in space.params
+        if _differs(current[param.name], base_point[param.name])
+    ]
+    result = MinimizeResult(evaluation=best)
+
+    changed = True
+    while changed:
+        changed = False
+        for name in list(deviating):
+            trial = dict(current)
+            trial[name] = base_point[name]
+            try:
+                trial_eval = measure(trial)
+            except ConfigError:
+                result.invalid_trials += 1
+                continue
+            finally:
+                result.evals_used += 1
+            kept = trial_eval.objective > floor
+            if kept:
+                current = trial
+                best = trial_eval
+                deviating.remove(name)
+                changed = True
+            if progress is not None:
+                progress(name, kept, best)
+
+    result.evaluation = best
+    result.deltas = {name: current[name] for name in deviating}
+    return result

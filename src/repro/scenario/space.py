@@ -1,0 +1,292 @@
+"""The fuzzer's parameter space over workload-profile tunables.
+
+A *point* is a plain ``{name: float}`` dict — JSON-serializable so the
+findings corpus can store it verbatim and replay it bit-identically.
+:class:`ParameterSpace` owns the mapping between points and concrete
+:class:`~repro.program.profiles.WorkloadProfile` instances: terminator
+and conditional-mixture weights are searched as independent raw weights
+and normalized at build time (the generator itself normalizes by the
+sum, so the search never wanders into an invalid simplex), and the
+profile's hard caps (``max_body_instrs`` and friends) are derived from
+the searched means so :meth:`WorkloadProfile.validate` always holds.
+
+Every stochastic operation threads through a
+:class:`~repro.common.rng.DeterministicRng`, making whole search runs
+replayable from one integer seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import exp, log
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.program.profiles import WorkloadProfile, profile_by_name
+
+#: A candidate assignment of every searched parameter.
+Point = Dict[str, float]
+
+#: Canonical order of the conditional-behaviour mixture weights.
+_MIX_KINDS = ("monotonic", "biased", "pattern", "random")
+
+#: Canonical order of the terminator-mix weights.
+_TERM_FIELDS = (
+    ("term_cond", "p_cond"),
+    ("term_jump", "p_jump"),
+    ("term_call", "p_call"),
+    ("term_indirect", "p_indirect"),
+    ("term_indirect_call", "p_indirect_call"),
+)
+
+
+@dataclass(frozen=True)
+class Param:
+    """One searchable dimension: bounds plus sampling behaviour.
+
+    ``log=True`` makes sampling and mutation multiplicative — right for
+    scale-like quantities (static footprint, function gaps) whose
+    interesting values span orders of magnitude.  ``integer=True``
+    rounds at *build* time only; points keep the float so hill-climbing
+    can take sub-unit steps that accumulate.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    integer: bool = False
+    log: bool = False
+
+    def clamp(self, value: float) -> float:
+        """Project *value* onto the parameter's closed range."""
+        if value < self.lo:
+            return self.lo
+        if value > self.hi:
+            return self.hi
+        return value
+
+    def sample(self, rng: DeterministicRng) -> float:
+        """Draw uniformly (log-uniformly when ``log``) over the range."""
+        if self.log:
+            return exp(log(self.lo) + rng.random() * (log(self.hi) - log(self.lo)))
+        return self.lo + rng.random() * (self.hi - self.lo)
+
+    def perturb(self, value: float, rng: DeterministicRng, scale: float) -> float:
+        """One mutation step of relative size *scale* around *value*."""
+        step = (2.0 * rng.random() - 1.0) * scale
+        if self.log:
+            moved = value * exp(step * (log(self.hi) - log(self.lo)))
+        else:
+            moved = value + step * (self.hi - self.lo)
+        return self.clamp(moved)
+
+
+#: The searched dimensions.  Bounds are deliberately wider than any
+#: registered profile: the point of the exercise is to leave charted
+#: territory, subject only to generator validity.
+_PARAMS: Tuple[Param, ...] = (
+    # Footprint: the spec-level static-uop target (log scale: capacity
+    # effects care about ratios to the 8K-uop budget, not differences).
+    Param("static_uops", 2_000, 160_000, integer=True, log=True),
+    # Program shape.
+    Param("blocks_per_function", 3.0, 28.0),
+    Param("call_depth", 2, 14, integer=True),
+    Param("callees_per_function", 1.2, 4.5),
+    Param("callee_skew", 0.6, 1.6),
+    # Block shape.
+    Param("body_instrs", 1.2, 16.0),
+    # Terminator mix (raw weights; normalized in build()).
+    Param("term_cond", 0.10, 1.0),
+    Param("term_jump", 0.0, 0.6),
+    Param("term_call", 0.0, 0.7),
+    Param("term_indirect", 0.0, 0.35),
+    Param("term_indirect_call", 0.0, 0.35),
+    # Loop structure.
+    Param("loop_gap", 0.5, 10.0),
+    Param("loop_body", 1.0, 5.0),
+    Param("nested_loop", 0.0, 0.5),
+    Param("loop_escape", 0.0, 0.4),
+    Param("loop_trip", 2.0, 24.0),
+    # Conditional behaviour mixture (raw weights; normalized).
+    Param("mix_monotonic", 0.02, 1.0),
+    Param("mix_biased", 0.02, 1.0),
+    Param("mix_pattern", 0.02, 1.0),
+    Param("mix_random", 0.02, 1.0),
+    Param("monotonic_bias", 0.90, 0.999),
+    Param("bias_lo", 0.55, 0.95),
+    Param("bias_hi", 0.60, 0.97),
+    # Indirect branches.
+    Param("indirect_targets", 2.0, 9.0),
+    Param("indirect_skew", 0.5, 1.6),
+    # Control-flow reconvergence (suffix sharing is the XBC's home turf;
+    # the fuzzer gets to turn it off).
+    Param("join_jump", 0.0, 1.0),
+    Param("diamond", 0.0, 0.8),
+    Param("switch_merge", 0.0, 1.0),
+    # Layout.
+    Param("function_gap_bytes", 40.0, 4_000.0, log=True),
+)
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A base profile plus the searchable deviations from it.
+
+    The space is anchored at a registered profile: unsampled structure
+    (uop-size distribution, jump-distance caps, escape rates) comes
+    from the base, and minimization measures findings as deltas from
+    the base's point.
+    """
+
+    base_name: str
+    params: Tuple[Param, ...] = _PARAMS
+
+    @classmethod
+    def default(cls, base_name: str = "server-web") -> "ParameterSpace":
+        """The standard space anchored at *base_name* (validated)."""
+        profile_by_name(base_name)  # raises ConfigError on unknown names
+        return cls(base_name=base_name)
+
+    def param(self, name: str) -> Param:
+        """The parameter named *name* (:class:`ConfigError` if absent)."""
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise ConfigError(f"unknown fuzz parameter {name!r}")
+
+    # -- point <-> profile mapping -----------------------------------------
+
+    def point_from_base(self, static_uops: float = 20_000) -> Point:
+        """The base profile rendered as a point (the search's origin).
+
+        ``static_uops`` defaults to a mid-range footprint rather than
+        the base profile's native target: the native server targets sit
+        at the extreme end of the footprint axis, which is a poor
+        center for a search that also explores small working sets.
+        """
+        base = profile_by_name(self.base_name)
+        mixture = dict(base.cond_mixture)
+        point: Point = {
+            "static_uops": float(static_uops),
+            "blocks_per_function": base.mean_blocks_per_function,
+            "call_depth": float(base.max_call_depth),
+            "callees_per_function": base.mean_callees_per_function,
+            "callee_skew": base.callee_popularity_skew,
+            "body_instrs": base.mean_body_instrs,
+            "loop_gap": base.mean_loop_gap,
+            "loop_body": base.mean_loop_body,
+            "nested_loop": base.p_nested_loop,
+            "loop_escape": base.p_loop_escape,
+            "loop_trip": base.mean_loop_trip,
+            "monotonic_bias": base.monotonic_bias,
+            "bias_lo": base.biased_range[0],
+            "bias_hi": base.biased_range[1],
+            "indirect_targets": base.mean_indirect_targets,
+            "indirect_skew": base.indirect_skew,
+            "join_jump": base.p_join_jump,
+            "diamond": base.p_diamond,
+            "switch_merge": base.p_switch_merge,
+            "function_gap_bytes": base.mean_function_gap_bytes,
+        }
+        for point_name, field_name in _TERM_FIELDS:
+            point[point_name] = getattr(base, field_name)
+        for kind in _MIX_KINDS:
+            point[f"mix_{kind}"] = mixture.get(kind, 0.0)
+        return {name: self.param(name).clamp(value)
+                for name, value in point.items()}
+
+    def build(self, point: Point, clamp: bool = True):
+        """Materialize *point* as ``(profile, static_uops)``.
+
+        With ``clamp=False`` the stored values are applied verbatim —
+        the replay path uses this so corpus entries stay bit-identical
+        even if the space's bounds are tightened later.  The built
+        profile is validated either way.
+        """
+        values: Dict[str, float] = {}
+        for param in self.params:
+            if param.name not in point:
+                raise ConfigError(f"point is missing parameter {param.name!r}")
+            value = float(point[param.name])
+            if clamp:
+                value = param.clamp(value)
+            if param.integer:
+                value = float(int(round(value)))
+            values[param.name] = value
+
+        term_total = sum(values[name] for name, _ in _TERM_FIELDS)
+        if term_total <= 0:
+            raise ConfigError("terminator weights sum to zero")
+        terms = {field: values[name] / term_total
+                 for name, field in _TERM_FIELDS}
+
+        mix_total = sum(values[f"mix_{kind}"] for kind in _MIX_KINDS)
+        if mix_total <= 0:
+            raise ConfigError("cond_mixture weights sum to zero")
+        mixture = tuple(
+            (kind, values[f"mix_{kind}"] / mix_total) for kind in _MIX_KINDS
+        )
+
+        bias_lo = min(values["bias_lo"], values["bias_hi"])
+        bias_hi = max(values["bias_lo"], values["bias_hi"])
+
+        base = profile_by_name(self.base_name)
+        profile = replace(
+            base,
+            name=f"{self.base_name}+fuzz",
+            mean_blocks_per_function=values["blocks_per_function"],
+            max_blocks_per_function=max(
+                base.max_blocks_per_function,
+                int(round(values["blocks_per_function"] * 3)),
+            ),
+            max_call_depth=int(values["call_depth"]),
+            mean_callees_per_function=values["callees_per_function"],
+            callee_popularity_skew=values["callee_skew"],
+            mean_body_instrs=values["body_instrs"],
+            max_body_instrs=max(
+                base.max_body_instrs, int(round(values["body_instrs"] * 3)) + 1
+            ),
+            mean_loop_gap=values["loop_gap"],
+            mean_loop_body=values["loop_body"],
+            p_nested_loop=values["nested_loop"],
+            p_loop_escape=values["loop_escape"],
+            mean_loop_trip=values["loop_trip"],
+            max_mean_trip=max(
+                base.max_mean_trip, int(round(values["loop_trip"] * 2))
+            ),
+            cond_mixture=mixture,
+            monotonic_bias=values["monotonic_bias"],
+            biased_range=(bias_lo, bias_hi),
+            mean_indirect_targets=values["indirect_targets"],
+            max_indirect_targets=max(
+                base.max_indirect_targets,
+                int(round(values["indirect_targets"] * 2)),
+            ),
+            indirect_skew=values["indirect_skew"],
+            p_join_jump=values["join_jump"],
+            p_diamond=values["diamond"],
+            p_switch_merge=values["switch_merge"],
+            mean_function_gap_bytes=values["function_gap_bytes"],
+            **terms,
+        )
+        profile.validate()
+        return profile, int(values["static_uops"])
+
+    # -- search moves -------------------------------------------------------
+
+    def sample(self, rng: DeterministicRng) -> Point:
+        """A fully random point (the search's exploration move)."""
+        return {param.name: param.sample(rng) for param in self.params}
+
+    def mutate(
+        self, point: Point, rng: DeterministicRng, scale: float = 0.25
+    ) -> Point:
+        """Perturb 1-3 randomly chosen dimensions (the exploit move)."""
+        moved = dict(point)
+        count = rng.randint(1, 3)
+        names = rng.sample([param.name for param in self.params], count)
+        for name in names:
+            param = self.param(name)
+            moved[name] = param.perturb(moved[name], rng, scale)
+        return moved

@@ -90,6 +90,32 @@ def perf_data(search_dir: str = ".") -> Dict[str, Any]:
     return payload
 
 
+def profiles_data() -> list:
+    """The ``[profiles]`` section: every registered profile's shape.
+
+    Shape statistics are reported at the profile's native static
+    footprint target (the scale the registry generates it at).
+    """
+    from repro.program.profiles import (
+        PROFILE_STATIC_UOPS,
+        registered_profiles,
+    )
+
+    entries = []
+    for name, profile in sorted(registered_profiles().items()):
+        target = PROFILE_STATIC_UOPS.get(name)
+        native = profile.scaled(target) if target else profile
+        entries.append({
+            "name": name,
+            "static_uops": target,
+            "functions": native.num_functions,
+            "max_call_depth": native.max_call_depth,
+            "mean_block_uops": round(native.mean_block_uops(), 2),
+            "indirect_rate": round(native.indirect_rate(), 4),
+        })
+    return entries
+
+
 def info_data(cache_root: Optional[str] = None,
               traces: Optional[list] = None) -> Dict[str, Any]:
     """The full ``repro info --json`` document."""
@@ -98,6 +124,7 @@ def info_data(cache_root: Optional[str] = None,
     memory = trace_cache_stats()
     return {
         "traces": traces or [],
+        "profiles": profiles_data(),
         "trace_cache": {
             "entries": memory.entries,
             "bytes": memory.bytes,

@@ -204,6 +204,23 @@ class Trace:
             f"{self.total_uops} uops"
         )
 
+    def content_hash(self) -> str:
+        """Stable hex digest of the dynamic stream (all six columns).
+
+        Two traces with the same hash executed the same instructions
+        with the same outcomes in the same order, which is the replay
+        identity the fuzz findings corpus records and re-checks.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        for column in (
+            self.ips, self.takens, self.next_ips,
+            self.kinds, self.nuops, self.snexts,
+        ):
+            digest.update(column.tobytes())
+        return digest.hexdigest()[:32]
+
     # -- pickling --------------------------------------------------------------
 
     def __getstate__(self):

@@ -137,3 +137,120 @@ def test_analyze_command(capsys):
     assert "redundancy factor" in out
     assert "XB usage" in out
     assert "reuse-distance" in out
+
+
+def test_scenario_command(tmp_path, capsys):
+    path = str(tmp_path / "scenario.csv")
+    args = ["scenario", "--server-uops", "20000", "--csv", path] + FAST
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "server-web" in out and "specint" in out
+    assert "MEAN:suite" in out and "MEAN:server" in out
+    with open(path) as handle:
+        header = handle.readline()
+    assert header.strip() == "scenario,group,tc_hit,xbc_hit,delta,inverted"
+
+
+def test_scenario_can_drop_server_group(capsys):
+    assert main(["scenario", "--server-traces", "0"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "server-" not in out
+
+
+def test_info_lists_profiles(capsys):
+    assert main(["info"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "[profiles]" in out
+    assert "server-oltp" in out and "server-micro" in out
+
+
+def test_info_json_includes_profiles(capsys):
+    import json
+    assert main(["info", "--json"] + FAST) == 0
+    data = json.loads(capsys.readouterr().out)
+    names = [entry["name"] for entry in data["profiles"]]
+    assert "server-web" in names and "specint" in names
+
+
+def test_fuzz_run_writes_corpus(tmp_path, capsys):
+    path = str(tmp_path / "findings.json")
+    args = ["fuzz", "run", "--budget", "4", "--seed", "1",
+            "--length", "6000", "--out", path, "--no-cache"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "[fuzz] corpus written to" in out
+    from repro.scenario.findings import FindingsCorpus
+    corpus = FindingsCorpus.load(path)
+    assert corpus.meta["seed"] == 1
+    assert corpus.meta["base"] == "server-web"
+
+
+def _pinned_corpus(path):
+    """A one-finding corpus for the known static_uops=2101 inversion."""
+    from repro.scenario.findings import Finding, FindingsCorpus
+    from repro.scenario.search import evaluate_point, fuzz_program_seed
+    from repro.scenario.space import ParameterSpace
+
+    space = ParameterSpace.default("server-web")
+    point = space.point_from_base()
+    point["static_uops"] = 2_101.0
+    evaluation = evaluate_point(
+        space, point, program_seed=fuzz_program_seed(1),
+        total_uops=8192, length_uops=40_000,
+    )
+    corpus = FindingsCorpus(meta={"seed": 1})
+    corpus.add(Finding.from_evaluation(
+        evaluation, "server-web", deltas={"static_uops": 2_101.0}
+    ))
+    corpus.save(path)
+    return corpus
+
+
+def test_fuzz_replay_and_report(tmp_path, capsys):
+    path = str(tmp_path / "findings.json")
+    corpus = _pinned_corpus(path)
+    finding = corpus.findings[0]
+
+    assert main(["fuzz", "replay", "--corpus", path, "--no-cache"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    args = ["fuzz", "replay", "--corpus", path,
+            "--id", finding.id[:8], "--no-cache"]
+    assert main(args) == 0
+    assert finding.id[:12] in capsys.readouterr().out
+
+    assert main(["fuzz", "report", "--corpus", path]) == 0
+    out = capsys.readouterr().out
+    assert finding.id[:12] in out
+    assert "static_uops" in out
+
+
+def test_fuzz_replay_detects_corruption(tmp_path, capsys):
+    import json
+    path = str(tmp_path / "findings.json")
+    _pinned_corpus(path)
+    with open(path) as handle:
+        payload = json.load(handle)
+    payload["findings"][0]["trace_hash"] = "deadbeef"
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    assert main(["fuzz", "replay", "--corpus", path, "--no-cache"]) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_fuzz_replay_empty_corpus_fails(tmp_path, capsys):
+    from repro.scenario.findings import FindingsCorpus
+    path = str(tmp_path / "findings.json")
+    FindingsCorpus().save(path)
+    assert main(["fuzz", "replay", "--corpus", path]) == 1
+
+
+def test_scenario_includes_findings_group(tmp_path, capsys):
+    path = str(tmp_path / "findings.json")
+    _pinned_corpus(path)
+    args = ["scenario", "--server-traces", "0",
+            "--findings", path] + FAST
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "MEAN:finding" in out
+    assert "INVERSION" in out

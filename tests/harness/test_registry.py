@@ -10,9 +10,15 @@ from repro.harness.registry import (
     default_registry,
     make_trace,
     registry_spec,
+    scenario_spec,
+    server_registry,
     trace_cache_stats,
 )
-from repro.program.profiles import SUITE_NAMES
+from repro.program.profiles import (
+    PROFILE_STATIC_UOPS,
+    SERVER_NAMES,
+    SUITE_NAMES,
+)
 
 
 def test_default_counts():
@@ -108,3 +114,64 @@ def test_trace_length_respected():
     trace = make_trace(spec)
     assert 4000 <= trace.total_uops < 4100
     clear_trace_cache()
+
+
+# -- scenario_spec / server_registry -----------------------------------------
+
+
+def test_scenario_spec_delegates_for_suites():
+    assert scenario_spec("specint", 1, 9_000) == registry_spec(
+        "specint", 1, 9_000
+    )
+
+
+def test_scenario_spec_suite_static_override_keeps_seed():
+    base = registry_spec("games", 0, 9_000)
+    spec = scenario_spec("games", 0, 9_000, static_uops=4_000)
+    assert spec.seed == base.seed
+    assert spec.static_uops == 4_000
+    assert spec.suite == "games"
+
+
+def test_scenario_spec_server_defaults_to_native_target():
+    spec = scenario_spec("server-web", 0, 9_000)
+    assert spec.suite == "server-web"
+    assert spec.static_uops == round(
+        PROFILE_STATIC_UOPS["server-web"] * 0.90
+    )
+    smaller = scenario_spec("server-web", 0, 9_000, static_uops=30_000)
+    assert smaller.static_uops == 30_000
+    assert smaller.seed == spec.seed
+
+
+def test_scenario_spec_seeds_are_stable_and_distinct():
+    seeds = {
+        scenario_spec(name, index, 9_000, static_uops=30_000).seed
+        for name in SERVER_NAMES
+        for index in range(3)
+    }
+    assert len(seeds) == 3 * len(SERVER_NAMES)
+    assert scenario_spec("server-web", 0).seed == scenario_spec(
+        "server-web", 0
+    ).seed
+
+
+def test_scenario_spec_rejects_bad_input():
+    with pytest.raises(ConfigError):
+        scenario_spec("server-mainframe", 0)
+    with pytest.raises(ConfigError):
+        scenario_spec("server-web", -1)
+
+
+def test_server_registry_counts_and_override():
+    specs = server_registry(traces_per_profile=2, static_uops=30_000)
+    assert len(specs) == 2 * len(SERVER_NAMES)
+    assert all(s.static_uops == 30_000 for s in specs)
+    names = [s.name for s in specs]
+    assert len(set(names)) == len(names)
+
+
+def test_server_registry_profile_filter():
+    specs = server_registry(profiles=["server-micro"])
+    assert len(specs) == 1
+    assert specs[0].suite == "server-micro"

@@ -1,4 +1,4 @@
-"""Tests for workload profiles."""
+"""Tests for workload profiles and the profile registry."""
 
 from dataclasses import replace
 
@@ -6,9 +6,15 @@ import pytest
 
 from repro.common.errors import ConfigError
 from repro.program.profiles import (
+    PROFILE_NAMES,
+    PROFILE_STATIC_UOPS,
+    SERVER_NAMES,
     SUITE_NAMES,
     WorkloadProfile,
+    profile_by_name,
     profile_for_suite,
+    register_profile,
+    registered_profiles,
 )
 
 
@@ -20,6 +26,11 @@ def test_all_suite_presets_validate():
 def test_unknown_suite_rejected():
     with pytest.raises(ConfigError):
         profile_for_suite("spec2017")
+
+
+def test_server_profiles_are_not_suites():
+    with pytest.raises(ConfigError):
+        profile_for_suite("server-web")
 
 
 def test_default_profile_validates():
@@ -49,7 +60,11 @@ def test_scaled_targets_footprint():
         ("min_blocks_per_function", 1),
         ("max_blocks_per_function", 2),
         ("max_call_depth", 0),
-        ("p_cond", 0.5),          # breaks the terminator-mix sum
+        ("p_cond", 1.5),           # pushes the terminator-mix sum past 1
+        ("p_cond", -0.1),          # negative weight
+        ("mean_blocks_per_function", 0.0),
+        ("mean_body_instrs", -1.0),
+        ("mean_function_gap_bytes", -1.0),
         ("mean_loop_trip", 0.5),
         ("mean_loop_body", 0.5),
         ("p_nested_loop", 1.5),
@@ -57,10 +72,39 @@ def test_scaled_targets_footprint():
         ("escape_rate", 0.9),
         ("monotonic_bias", 0.4),
         ("biased_range", (0.9, 0.2)),
+        ("max_body_instrs", 0),
+        ("max_indirect_targets", 1),
+        ("max_mean_trip", 1),
+        ("pattern_max_period", 1),
+        ("max_forward_jump_blocks", 0),
+        ("max_backedge_span", 0),
+        ("uops_per_instr", ()),
+        ("uops_per_instr", ((0, 1.0),)),
     ],
 )
 def test_validation_rejects_bad_fields(field, value):
     profile = replace(WorkloadProfile(), **{field: value})
+    with pytest.raises(ConfigError):
+        profile.validate()
+
+
+def test_terminator_mix_may_sum_below_one():
+    # The generator normalizes by the actual sum, so a sub-unit mix is
+    # legal (the fuzzer relies on this).
+    profile = replace(
+        WorkloadProfile(),
+        p_cond=0.5, p_jump=0.1, p_call=0.1,
+        p_indirect=0.05, p_indirect_call=0.05,
+    )
+    profile.validate()
+
+
+def test_terminator_mix_must_be_positive():
+    profile = replace(
+        WorkloadProfile(),
+        p_cond=0.0, p_jump=0.0, p_call=0.0,
+        p_indirect=0.0, p_indirect_call=0.0,
+    )
     with pytest.raises(ConfigError):
         profile.validate()
 
@@ -72,3 +116,68 @@ def test_cond_mixture_must_sum_to_one():
     )
     with pytest.raises(ConfigError):
         profile.validate()
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_registry_covers_suites_and_servers():
+    names = set(registered_profiles())
+    assert set(SUITE_NAMES) <= names
+    assert set(SERVER_NAMES) <= names
+    assert tuple(PROFILE_NAMES) == SUITE_NAMES + SERVER_NAMES
+
+
+def test_profile_by_name_roundtrip():
+    for name in PROFILE_NAMES:
+        profile = profile_by_name(name)
+        assert profile.name == name
+        profile.validate()
+        assert PROFILE_STATIC_UOPS[name] >= 100
+
+
+def test_profile_by_name_unknown():
+    with pytest.raises(ConfigError) as excinfo:
+        profile_by_name("server-mainframe")
+    assert "server-mainframe" in str(excinfo.value)
+
+
+def test_register_profile_rejects_duplicates():
+    profile = replace(WorkloadProfile(), name="specint")
+    with pytest.raises(ConfigError):
+        register_profile(profile)
+
+
+def test_register_profile_rejects_invalid():
+    profile = replace(WorkloadProfile(), name="broken", max_call_depth=0)
+    with pytest.raises(ConfigError):
+        register_profile(profile)
+
+
+def test_registered_profiles_returns_copy():
+    snapshot = registered_profiles()
+    snapshot["bogus"] = WorkloadProfile()
+    assert "bogus" not in registered_profiles()
+
+
+# -- derived shape statistics -------------------------------------------------
+
+
+def test_shape_stats_consistency():
+    profile = WorkloadProfile()
+    assert profile.mean_uops_per_instr() >= 1.0
+    assert profile.mean_block_uops() > profile.mean_body_instrs
+    shares = profile.terminator_shares()
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    assert 0.0 <= profile.indirect_rate() <= 1.0
+    assert profile.estimated_static_uops() > 0
+
+
+def test_server_family_is_bigger_and_flatter():
+    for name in SERVER_NAMES:
+        server = profile_by_name(name)
+        specint = profile_by_name("specint")
+        assert server.num_functions > 10 * specint.num_functions
+        assert server.max_call_depth > specint.max_call_depth
+        assert server.indirect_rate() > specint.indirect_rate()
+        assert PROFILE_STATIC_UOPS[name] >= 10 * PROFILE_STATIC_UOPS["specint"]

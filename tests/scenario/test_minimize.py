@@ -1,0 +1,144 @@
+"""Tests for finding minimization."""
+
+from types import SimpleNamespace
+
+import pytest
+
+import repro.scenario.minimize as minimize_mod
+from repro.common.errors import ConfigError
+from repro.scenario.minimize import minimize_evaluation
+from repro.scenario.search import FuzzConfig
+from repro.scenario.space import ParameterSpace
+
+
+def _stub_evaluation(point, objective):
+    return SimpleNamespace(
+        point=dict(point),
+        objective=objective,
+        spec=SimpleNamespace(seed=7932, length_uops=6_000),
+    )
+
+
+def _patch_objective(monkeypatch, objective_fn, rejects=()):
+    def fake(space, point, *, program_seed, total_uops=8192,
+             length_uops=60_000, policy=None, clamp=True):
+        if any(predicate(point) for predicate in rejects):
+            raise ConfigError("rejected by test")
+        return _stub_evaluation(point, objective_fn(point))
+
+    monkeypatch.setattr(minimize_mod, "evaluate_point", fake)
+
+
+def test_rejects_non_findings():
+    space = ParameterSpace.default()
+    evaluation = _stub_evaluation(space.point_from_base(), -0.2)
+    with pytest.raises(ConfigError):
+        minimize_evaluation(space, evaluation, FuzzConfig())
+
+
+def test_reduces_to_the_load_bearing_delta(monkeypatch):
+    # The inversion depends only on static_uops; every other deviation
+    # must be reverted to base.
+    space = ParameterSpace.default()
+    start = space.point_from_base()
+    start["static_uops"] = 2_101.0
+    start["body_instrs"] = 9.9
+    start["loop_gap"] = 7.7
+    start["diamond"] = 0.66
+
+    def objective(point):
+        return 0.1 if point["static_uops"] < 3_000 else -0.1
+
+    _patch_objective(monkeypatch, objective)
+    result = minimize_evaluation(
+        space, _stub_evaluation(start, 0.1), FuzzConfig()
+    )
+    assert set(result.deltas) == {"static_uops"}
+    assert result.deltas["static_uops"] == 2_101.0
+    assert result.evaluation.objective == 0.1
+    # One greedy pass reverts the three bystanders, a second pass
+    # (static alone) confirms the fixed point.
+    assert result.evals_used >= 4
+
+
+def test_keeps_conjunctions(monkeypatch):
+    # When two deltas are jointly load-bearing, neither can be reverted
+    # alone, so both survive.
+    space = ParameterSpace.default()
+    start = space.point_from_base()
+    start["static_uops"] = 2_500.0
+    start["diamond"] = 0.7
+    start["loop_gap"] = 9.0
+
+    def objective(point):
+        small = point["static_uops"] < 3_000
+        diamonds = point["diamond"] > 0.5
+        return 0.1 if (small and diamonds) else -0.1
+
+    _patch_objective(monkeypatch, objective)
+    result = minimize_evaluation(
+        space, _stub_evaluation(start, 0.1), FuzzConfig()
+    )
+    assert set(result.deltas) == {"static_uops", "diamond"}
+
+
+def test_invalid_trials_are_skipped(monkeypatch):
+    space = ParameterSpace.default()
+    start = space.point_from_base()
+    start["static_uops"] = 2_101.0
+    start["diamond"] = 0.66
+
+    def objective(point):
+        return 0.1 if point["static_uops"] < 3_000 else -0.1
+
+    # Reverting diamond to base produces a "generator-rejected" trial;
+    # the delta then has to stay.
+    base_diamond = space.point_from_base()["diamond"]
+    _patch_objective(
+        monkeypatch, objective,
+        rejects=[lambda point: point["diamond"] == base_diamond
+                 and point["static_uops"] < 3_000],
+    )
+    result = minimize_evaluation(
+        space, _stub_evaluation(start, 0.1), FuzzConfig()
+    )
+    assert result.invalid_trials > 0
+    assert "diamond" in result.deltas
+
+
+def test_margin_override(monkeypatch):
+    space = ParameterSpace.default()
+    start = space.point_from_base()
+    start["static_uops"] = 2_101.0
+
+    _patch_objective(monkeypatch, lambda point: 0.05)
+    with pytest.raises(ConfigError):
+        minimize_evaluation(
+            space, _stub_evaluation(start, 0.05), FuzzConfig(),
+            margin=0.2,
+        )
+
+
+def test_real_minimize_of_pinned_inversion():
+    # End to end on the real evaluator: the known single-delta
+    # inversion (static_uops 2101 on server-web) must survive
+    # minimization as exactly that delta.
+    from repro.scenario.search import evaluate_point, fuzz_program_seed
+
+    space = ParameterSpace.default("server-web")
+    point = space.point_from_base()
+    point["static_uops"] = 2_101.0
+    evaluation = evaluate_point(
+        space, point,
+        program_seed=fuzz_program_seed(1),
+        total_uops=8192,
+        length_uops=40_000,
+    )
+    assert evaluation.objective > 0.02
+    result = minimize_evaluation(
+        space, evaluation,
+        FuzzConfig(seed=1, length_uops=40_000),
+    )
+    assert set(result.deltas) == {"static_uops"}
+    assert result.evaluation.objective > 0.02
+    assert result.evals_used == 1

@@ -1,0 +1,146 @@
+"""Tests for the fuzzer's parameter space."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.program.profiles import profile_by_name
+from repro.scenario.space import Param, ParameterSpace
+
+
+def test_default_space_rejects_unknown_base():
+    with pytest.raises(ConfigError):
+        ParameterSpace.default("server-mainframe")
+
+
+def test_param_lookup():
+    space = ParameterSpace.default()
+    assert space.param("static_uops").integer
+    with pytest.raises(ConfigError):
+        space.param("no_such_knob")
+
+
+def test_param_clamp():
+    param = Param("x", 1.0, 5.0)
+    assert param.clamp(0.0) == 1.0
+    assert param.clamp(9.0) == 5.0
+    assert param.clamp(3.0) == 3.0
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_sample_stays_in_bounds(seed):
+    space = ParameterSpace.default()
+    point = space.sample(DeterministicRng(seed))
+    for param in space.params:
+        assert param.lo <= point[param.name] <= param.hi
+
+
+def test_sample_is_deterministic():
+    space = ParameterSpace.default()
+    assert space.sample(DeterministicRng(7)) == space.sample(
+        DeterministicRng(7)
+    )
+    assert space.sample(DeterministicRng(7)) != space.sample(
+        DeterministicRng(8)
+    )
+
+
+def test_perturb_stays_in_bounds():
+    space = ParameterSpace.default()
+    rng = DeterministicRng(3)
+    for param in space.params:
+        for anchor in (param.lo, param.hi, 0.5 * (param.lo + param.hi)):
+            moved = param.perturb(anchor, rng, scale=1.0)
+            assert param.lo <= moved <= param.hi
+
+
+def test_mutate_changes_at_most_three_dims():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    for seed in range(1, 6):
+        moved = space.mutate(point, DeterministicRng(seed))
+        changed = [
+            name for name in point if moved[name] != point[name]
+        ]
+        assert 1 <= len(changed) <= 3
+    assert space.mutate(point, DeterministicRng(5)) == space.mutate(
+        point, DeterministicRng(5)
+    )
+
+
+def test_point_from_base_covers_every_param():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    assert set(point) == {param.name for param in space.params}
+    for param in space.params:
+        assert param.lo <= point[param.name] <= param.hi
+
+
+def test_point_from_base_roundtrips_to_base_profile():
+    space = ParameterSpace.default("server-web")
+    base = profile_by_name("server-web")
+    profile, static = space.build(space.point_from_base())
+    assert static == 20_000
+    assert profile.name == "server-web+fuzz"
+    assert profile.mean_blocks_per_function == pytest.approx(
+        base.mean_blocks_per_function
+    )
+    assert profile.mean_body_instrs == pytest.approx(base.mean_body_instrs)
+    assert profile.p_nested_loop == pytest.approx(base.p_nested_loop)
+    assert profile.monotonic_bias == pytest.approx(base.monotonic_bias)
+    # Weights are searched raw and renormalized, so only ratios survive
+    # the roundtrip exactly.
+    assert profile.p_cond / profile.p_jump == pytest.approx(
+        base.p_cond / base.p_jump
+    )
+    mixture = dict(profile.cond_mixture)
+    base_mixture = dict(base.cond_mixture)
+    for kind, weight in base_mixture.items():
+        assert mixture[kind] == pytest.approx(
+            weight / sum(base_mixture.values())
+        )
+
+
+def test_build_rejects_missing_param():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    del point["static_uops"]
+    with pytest.raises(ConfigError):
+        space.build(point)
+
+
+def test_build_clamps_by_default_but_not_on_replay():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    point["static_uops"] = 500_000.0
+    _, clamped = space.build(point)
+    assert clamped == space.param("static_uops").hi
+    _, verbatim = space.build(point, clamp=False)
+    assert verbatim == 500_000
+
+
+def test_build_rounds_integer_params():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    point["static_uops"] = 2_100.7
+    _, static = space.build(point)
+    assert static == 2_101
+
+
+def test_build_sorts_bias_range():
+    space = ParameterSpace.default()
+    point = space.point_from_base()
+    point["bias_lo"] = 0.93
+    point["bias_hi"] = 0.61
+    profile, _ = space.build(point)
+    assert profile.biased_range == (0.61, 0.93)
+
+
+def test_built_profiles_always_validate():
+    # Random corners of the space must realize as valid profiles (the
+    # caps are derived from the searched means for exactly this).
+    space = ParameterSpace.default()
+    for seed in range(1, 9):
+        profile, static = space.build(space.sample(DeterministicRng(seed)))
+        profile.validate()
+        assert static >= 2_000
